@@ -1,0 +1,115 @@
+// Command gmexp runs experiments from the GreenMatch evaluation registry
+// (E1..E21; see DESIGN.md §3) and prints each figure's series / table's
+// rows, in text or CSV.
+//
+// Examples:
+//
+//	gmexp -list
+//	gmexp -id E3 -scale 0.5
+//	gmexp -all -scale 0.2 -csv > results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "experiment ID to run (E1..E21)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list the registry and exit")
+		scale = flag.Float64("scale", 0.25, "scenario scale (1.0 = paper scale; smaller is faster)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+		html  = flag.String("html", "", "also write a self-contained HTML report (tables + SVG charts) to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
+		}
+		return
+	}
+
+	var toRun []expt.Experiment
+	switch {
+	case *all:
+		toRun = expt.All()
+	case *id != "":
+		e, ok := expt.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gmexp: unknown experiment %q (use -list)\n", *id)
+			os.Exit(2)
+		}
+		toRun = []expt.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "gmexp: pass -id E<N>, -all, or -list")
+		os.Exit(2)
+	}
+
+	p := expt.Params{Scale: *scale, Seed: *seed}
+	var sections []report.Section
+	for _, e := range toRun {
+		fmt.Printf("== %s (%s): %s ==\n", e.ID, e.Kind, e.Title)
+		tables, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			var werr error
+			if *csv {
+				werr = t.WriteCSV(os.Stdout)
+			} else {
+				werr = t.WriteText(os.Stdout)
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "gmexp: %s: %v\n", e.ID, werr)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if *html != "" {
+			sec := report.Section{
+				Heading: fmt.Sprintf("%s (%s): %s", e.ID, e.Kind, e.Title),
+				Tables:  tables,
+			}
+			if e.Kind == "figure" && len(tables) > 0 {
+				sec.Chart = report.ChartFromTable(tables[0], e.ID)
+			}
+			sections = append(sections, sec)
+		}
+	}
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("GreenMatch evaluation — scale %.2g, seed %d (%s)",
+			*scale, *seed, strings.TrimSuffix(func() string {
+				var ids []string
+				for _, e := range toRun {
+					ids = append(ids, e.ID)
+				}
+				return strings.Join(ids, ", ")
+			}(), ", "))
+		err = report.Render(f, title, sections)
+		cerr := f.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *html)
+	}
+}

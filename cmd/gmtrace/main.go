@@ -1,0 +1,138 @@
+// Command gmtrace generates and inspects the simulator's input traces:
+// synthetic workload weeks and solar/wind production series, written as the
+// CSV formats the library round-trips.
+//
+// Examples:
+//
+//	gmtrace -kind workload -scale 1.0 -out week.csv
+//	gmtrace -kind solar -area 165.6 -profile mixed -slots 336 -out solar.csv
+//	gmtrace -kind wind -turbines 2 -out wind.csv
+//	gmtrace -kind workload -stats            # print population statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/solar"
+	"repro/internal/wind"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "workload", "trace kind: workload | solar | wind")
+		in       = flag.String("in", "", "analyze an existing CSV trace instead of generating one (use with -stats)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		stats    = flag.Bool("stats", false, "print summary statistics instead of the CSV")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		area     = flag.Float64("area", 165.6, "solar panel area m^2")
+		profile  = flag.String("profile", "sunny", "solar weather profile")
+		slots    = flag.Int("slots", 168, "trace length in slots")
+		turbines = flag.Int("turbines", 1, "wind turbine count")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "workload":
+		var tr workload.Trace
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			tr, err = workload.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			cfg := workload.Scaled(*scale)
+			cfg.Seed = *seed
+			cfg.Slots = *slots
+			var err error
+			tr, err = workload.Generate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if *stats {
+			st := workload.ComputeStats(tr)
+			fmt.Fprintf(w, "jobs: %d  horizon: %d slots  peak concurrency: %d\n",
+				len(tr), st.Horizon, tr.PeakConcurrency())
+			for _, c := range []workload.Class{workload.Web, workload.Batch, workload.Scrub, workload.Backup, workload.Repair} {
+				fmt.Fprintf(w, "  %-7s count=%-5d cpu-hours=%.0f\n", c, st.Count[c], st.CPUHours[c])
+			}
+			fmt.Fprintf(w, "arrivals by hour of day:\n ")
+			hist := tr.ArrivalHistogram()
+			for h, n := range hist {
+				fmt.Fprintf(w, " %02d:%-4d", h, n)
+				if h%8 == 7 {
+					fmt.Fprintf(w, "\n ")
+				}
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "deferrable slack histogram (slots):\n")
+			sh := tr.SlackHistogram()
+			for _, bucket := range []string{"0", "1-4", "5-12", "13-24", "25+"} {
+				fmt.Fprintf(w, "  %-6s %d\n", bucket, sh[bucket])
+			}
+			return
+		}
+		if err := tr.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+	case "solar":
+		cfg := solar.DefaultFarm(*area)
+		cfg.Profile = solar.Profile(*profile)
+		cfg.Slots = *slots
+		cfg.Seed = *seed
+		s, err := solar.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(w, "slots: %d  peak: %v  total: %v\n", s.Slots(), s.Peak(), s.TotalEnergy(1))
+			return
+		}
+		if err := s.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+	case "wind":
+		cfg := wind.DefaultFarm()
+		cfg.Count = *turbines
+		cfg.Slots = *slots
+		cfg.Seed = *seed
+		s, err := wind.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(w, "slots: %d  peak: %v  total: %v\n", s.Slots(), s.Peak(), s.TotalEnergy(1))
+			return
+		}
+		if err := s.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gmtrace:", err)
+	os.Exit(1)
+}

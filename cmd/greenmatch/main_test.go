@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solar"
+)
+
+func testConfig(t *testing.T, policy, source, chemistry, forecaster string) core.Config {
+	t.Helper()
+	cfg, err := buildConfig(policy, 0.5, "flow", 0.05, 0, 0, "sunny", source, 5, chemistry, forecaster, 1, false)
+	if err != nil {
+		t.Fatalf("buildConfig(%s, %s, %s, %s): %v", policy, source, chemistry, forecaster, err)
+	}
+	return cfg
+}
+
+func TestBuildConfigPolicies(t *testing.T) {
+	want := map[string]string{
+		"baseline":   "baseline",
+		"spindown":   "spindown",
+		"defer":      "defer50%",
+		"greenmatch": "greenmatch",
+		"mixed":      "mixed50%",
+	}
+	for flag, name := range want {
+		cfg := testConfig(t, flag, "solar", "lithium-ion", "perfect")
+		if cfg.Policy.Name() != name {
+			t.Errorf("policy flag %q produced %q, want %q", flag, cfg.Policy.Name(), name)
+		}
+	}
+}
+
+func TestBuildConfigSources(t *testing.T) {
+	solarCfg := testConfig(t, "baseline", "solar", "lithium-ion", "perfect")
+	windCfg := testConfig(t, "baseline", "wind", "lithium-ion", "perfect")
+	hybridCfg := testConfig(t, "baseline", "hybrid", "lithium-ion", "perfect")
+	if windCfg.Green.Slots() != solarCfg.Green.Slots() || hybridCfg.Green.Slots() != solarCfg.Green.Slots() {
+		t.Error("sources should share the trace length")
+	}
+	// Wind is normalized to the solar trace's total energy.
+	se := solarCfg.Green.(solar.Series).TotalEnergy(1)
+	we := windCfg.Green.(solar.Series).TotalEnergy(1)
+	if we < se*0.99 || we > se*1.01 {
+		t.Errorf("wind energy %v not normalized to solar %v", we, se)
+	}
+}
+
+func TestBuildConfigForecasters(t *testing.T) {
+	for _, f := range []string{"perfect", "persistence", "ma", "ewma"} {
+		cfg := testConfig(t, "greenmatch", "solar", "lithium-ion", f)
+		if cfg.Forecaster == nil {
+			t.Errorf("forecaster %q not set", f)
+		}
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	cases := []struct{ policy, source, chem, fc string }{
+		{"magic", "solar", "lithium-ion", "perfect"},
+		{"baseline", "coal", "lithium-ion", "perfect"},
+		{"baseline", "solar", "potato", "perfect"},
+		{"baseline", "solar", "lithium-ion", "astrology"},
+	}
+	for _, c := range cases {
+		if _, err := buildConfig(c.policy, 1, "flow", 0.05, 0, 0, "sunny", c.source, 0, c.chem, c.fc, 1, false); err == nil {
+			t.Errorf("buildConfig(%+v) should fail", c)
+		}
+	}
+}
+
+func TestBuildConfigRunsEndToEnd(t *testing.T) {
+	cfg := testConfig(t, "greenmatch", "solar", "lithium-ion", "perfect")
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := buildReport(res)
+	var buf bytes.Buffer
+	if err := report.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"brown energy (kWh)", "green utilization", "jobs completed", "read latency p99 (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	cfg := testConfig(t, "baseline", "solar", "lithium-ion", "perfect")
+	cfg.RecordSeries = true
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/series.csv"
+	if err := writeSeries(res, path); err != nil {
+		t.Fatal(err)
+	}
+	// Missing series must error, not write an empty file.
+	res.Series = nil
+	if err := writeSeries(res, path); err == nil {
+		t.Error("nil series should error")
+	}
+}

@@ -1,0 +1,85 @@
+// Battery sizing: sweep ESD capacity under sized solar panels and find the
+// smallest battery at which each policy stops drawing brown energy in
+// steady state — the live version of experiment E3, including the volume
+// and price the chemistry implies at that size.
+//
+// Run with: go run ./examples/batterysizing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	greenmatch "repro"
+)
+
+func main() {
+	capacitiesKWh := []float64{0, 5, 10, 15, 20, 25, 30, 40}
+
+	table := &greenmatch.Table{
+		Title:   "Steady-state brown energy (kWh) vs battery size — sized panels (62.5 m2), 8 nodes",
+		Headers: []string{"battery_kwh", "baseline", "greenmatch"},
+	}
+	zero := map[string]float64{"baseline": -1, "greenmatch": -1}
+
+	for _, capKWh := range capacitiesKWh {
+		row := []any{capKWh}
+		for _, policy := range []greenmatch.Policy{greenmatch.Baseline{}, greenmatch.GreenMatch{}} {
+			cfg := greenmatch.DefaultConfig()
+			cl := cfg.Cluster
+			cl.Nodes = 8
+			cl.Objects = 800
+			cfg.Cluster = cl
+			trace, err := greenmatch.GenerateWorkload(0.25, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Trace = trace
+			cfg.Green = greenmatch.DefaultGreen(62.5) // comfortably above break-even
+			cfg.BatteryCapacityWh = greenmatch.Energy(capKWh * 1000)
+			cfg.ReadsPerSlot = 50
+			cfg.Policy = policy
+			cfg.RecordSeries = true
+
+			res, err := greenmatch.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Steady-state brown: skip the first day (the battery starts
+			// empty, so the first pre-dawn hours are unavoidably brown).
+			var steady float64
+			for _, s := range res.Series.Samples {
+				if s.Slot >= 24 {
+					steady += s.BrownW / 1000
+				}
+			}
+			row = append(row, steady)
+			if zero[res.Policy] < 0 && steady < 1 {
+				zero[res.Policy] = capKWh
+			}
+		}
+		table.AddRow(row...)
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	li, err := greenmatch.BatterySpecFor(greenmatch.LithiumIon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, name := range []string{"baseline", "greenmatch"} {
+		k := zero[name]
+		if k < 0 {
+			fmt.Printf("%-11s never reaches zero brown in this sweep\n", name)
+			continue
+		}
+		capWh := greenmatch.Energy(k * 1000)
+		fmt.Printf("%-11s reaches zero steady-state brown at %4.0f kWh  (LI: %.0f L, $%.0f)\n",
+			name, k, li.VolumeLiters(capWh), li.PriceDollars(capWh))
+	}
+	fmt.Println("\nGreenMatch needs the smaller battery: deferred jobs consume solar directly")
+	fmt.Println("instead of round-tripping it through the ESD's charging losses.")
+}

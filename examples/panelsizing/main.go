@@ -1,0 +1,65 @@
+// Panel sizing: sweep PV area under an ideal (infinite) ESD to find the
+// break-even dimension at which the workload needs no brown energy in
+// steady state — the live version of experiment E2.
+//
+// Run with: go run ./examples/panelsizing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	greenmatch "repro"
+)
+
+func main() {
+	table := &greenmatch.Table{
+		Title:   "Brown energy vs PV area — infinite ideal ESD, baseline policy, 8 nodes",
+		Headers: []string{"area_m2", "produced_kwh", "supply_ratio", "steady_brown_kwh"},
+	}
+	breakEven := -1.0
+	for _, area := range []float64{0, 10, 20, 30, 40, 50, 60, 80, 100} {
+		cfg := greenmatch.DefaultConfig()
+		cl := cfg.Cluster
+		cl.Nodes = 8
+		cl.Objects = 800
+		cfg.Cluster = cl
+		trace, err := greenmatch.GenerateWorkload(0.25, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Trace = trace
+		cfg.Green = greenmatch.DefaultGreen(area)
+		cfg.InfiniteBattery = true
+		cfg.ReadsPerSlot = 50
+		cfg.RecordSeries = true
+
+		res, err := greenmatch.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var steady float64
+		for _, s := range res.Series.Samples {
+			if s.Slot >= 24 {
+				steady += s.BrownW / 1000
+			}
+		}
+		ratio := float64(res.Energy.GreenProduced) / float64(res.Energy.TotalLoad())
+		table.AddRow(area, res.Energy.GreenProduced.KWh(), ratio, steady)
+		if breakEven < 0 && steady < 1 {
+			breakEven = area
+		}
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if breakEven >= 0 {
+		side := math.Sqrt(breakEven)
+		fmt.Printf("\nBreak-even panel dimension: ~%.0f m^2 (%.1f x %.1f m): beyond this,\n", breakEven, side, side)
+		fmt.Println("an ideal ESD can time-shift the surplus to cover every night.")
+	} else {
+		fmt.Println("\nNo break-even in this sweep; widen the area grid.")
+	}
+}

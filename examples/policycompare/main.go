@@ -1,0 +1,63 @@
+// Policy comparison: run the full policy zoo on the same scenario and print
+// the headline table (a small-scale live version of experiment E8).
+//
+// Run with: go run ./examples/policycompare
+package main
+
+import (
+	"log"
+	"os"
+
+	greenmatch "repro"
+)
+
+func main() {
+	policies := []greenmatch.Policy{
+		greenmatch.Baseline{},
+		greenmatch.SpinDown{},
+		greenmatch.DeferFraction{Fraction: 0.5},
+		greenmatch.DeferFraction{Fraction: 1.0},
+		greenmatch.GreenMatch{Fraction: 0.5},
+		greenmatch.GreenMatch{},
+	}
+
+	table := &greenmatch.Table{
+		Title: "Policy comparison — 1 week, 8-node storage cluster, 41 m2 PV, 10 kWh LI battery",
+		Headers: []string{"policy", "brown_kwh", "green_used_kwh", "green_util_%",
+			"misses", "mean_wait", "migrations", "node_hours", "disk_spindowns"},
+	}
+	for _, policy := range policies {
+		cfg := greenmatch.DefaultConfig()
+		cl := cfg.Cluster
+		cl.Nodes = 8
+		cl.Objects = 800
+		cfg.Cluster = cl
+		trace, err := greenmatch.GenerateWorkload(0.25, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Trace = trace
+		cfg.Green = greenmatch.DefaultGreen(41.4)
+		cfg.BatteryCapacityWh = 10_000
+		cfg.ReadsPerSlot = 50
+		cfg.Policy = policy
+
+		res, err := greenmatch.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := res.Energy
+		table.AddRow(res.Policy,
+			e.Brown.KWh(),
+			(e.GreenDirect + e.BatteryOut).KWh(),
+			100*e.GreenUtilization(),
+			res.SLA.DeadlineMisses,
+			res.SLA.MeanWaitSlots(),
+			res.SLA.Migrations,
+			res.NodeHours,
+			res.Disk.SpinDowns)
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

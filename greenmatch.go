@@ -1,0 +1,189 @@
+// Package greenmatch is a from-scratch Go reproduction of "GreenMatch:
+// Renewable-Aware Workload Scheduling for Massive Storage Systems"
+// (IPPS/IPDPS 2016): a trace-driven simulator for a small/medium storage
+// data center powered by on-site renewables (solar by default, wind as an
+// extension), an energy-storage device, and the brown grid — plus the
+// GreenMatch scheduler, which matches deferrable storage workloads to
+// forecast renewable supply with a min-cost-flow assignment under a
+// replica-coverage constraint on disk spin-down.
+//
+// This package is the stable facade over the internal packages; see
+// README.md for a tour and DESIGN.md for the system inventory. The typical
+// entry points:
+//
+//	cfg := greenmatch.DefaultConfig()
+//	cfg.Policy = greenmatch.GreenMatch{}
+//	res, err := greenmatch.Run(cfg)
+//	fmt.Println(res.Energy.Brown, res.Energy.GreenUtilization())
+//
+// and the experiment harness that regenerates every figure and table of
+// the evaluation:
+//
+//	for _, e := range greenmatch.Experiments() { ... e.Run(greenmatch.ExperimentParams{}) ... }
+package greenmatch
+
+import (
+	"repro/internal/battery"
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expt"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/solar"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wind"
+	"repro/internal/workload"
+)
+
+// Core simulator types.
+type (
+	// Config assembles one simulation run; see DefaultConfig.
+	Config = core.Config
+	// Result is the outcome of one run: energy account, SLA account,
+	// battery account, disk stats, optional time series.
+	Result = core.Result
+	// Simulator executes one configured run.
+	Simulator = core.Simulator
+)
+
+// Scheduling policies.
+type (
+	// Policy plans one slot at a time.
+	Policy = sched.Policy
+	// Baseline runs everything ASAP with FFD + over-commit (the ESD-only
+	// reference point).
+	Baseline = sched.Baseline
+	// SpinDown is Baseline plus coverage-constrained disk spin-down.
+	SpinDown = sched.SpinDown
+	// DeferFraction opportunistically defers a fraction of deferrable jobs.
+	DeferFraction = sched.DeferFraction
+	// GreenMatch is the paper's forecast-driven matching scheduler; set
+	// Fraction below 1 for the Mixed configuration.
+	GreenMatch = sched.GreenMatch
+)
+
+// Substrate types re-exported for configuration.
+type (
+	// Power is watts; Energy is watt-hours.
+	Power = units.Power
+	// Energy is watt-hours.
+	Energy = units.Energy
+	// BatterySpec holds ESD chemistry parameters.
+	BatterySpec = battery.Spec
+	// ClusterConfig describes the storage data center topology.
+	ClusterConfig = storage.Config
+	// SolarSeries is a per-slot renewable power trace.
+	SolarSeries = solar.Series
+	// Trace is a job population.
+	Trace = workload.Trace
+	// Forecaster predicts renewable supply.
+	Forecaster = forecast.Forecaster
+	// Table is a rendered result table (text/CSV).
+	Table = metrics.Table
+)
+
+// Experiment harness types.
+type (
+	// Experiment is one reproducible figure/table of the evaluation.
+	Experiment = expt.Experiment
+	// ExperimentParams scales an experiment (Scale 1.0 = paper scale).
+	ExperimentParams = expt.Params
+)
+
+// ESD technologies (see BatterySpecFor).
+const (
+	LeadAcid       = battery.LeadAcid
+	LithiumIon     = battery.LithiumIon
+	Flywheel       = battery.Flywheel
+	UltraCapacitor = battery.UltraCapacitor
+)
+
+// DefaultConfig returns the reference scenario: 30-node storage cluster,
+// the reference week workload (787 web + 3148 batch jobs plus storage
+// maintenance), a 165.6 m^2 solar farm, no battery, Baseline policy.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultGreen returns the reference extended solar trace for a panel area.
+func DefaultGreen(areaM2 float64) SolarSeries { return core.DefaultGreen(areaM2) }
+
+// Run executes one simulation run.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// NewSimulator validates cfg and builds a single-use simulator.
+func NewSimulator(cfg Config) (*Simulator, error) { return core.New(cfg) }
+
+// BatterySpecFor returns the parameter preset for a chemistry.
+func BatterySpecFor(c battery.Chemistry) (BatterySpec, error) { return battery.SpecFor(c) }
+
+// GenerateWorkload produces the deterministic synthetic reference trace at
+// the given scale (1.0 reproduces the genre's reference week populations).
+func GenerateWorkload(scale float64, seed int64) (Trace, error) {
+	cfg := workload.Scaled(scale)
+	cfg.Seed = seed
+	return workload.Generate(cfg)
+}
+
+// GenerateSolar produces a synthetic solar trace for the given farm area,
+// weather profile ("sunny", "mixed", "overcast", "winter") and length.
+func GenerateSolar(areaM2 float64, profile string, slots int, seed int64) (SolarSeries, error) {
+	cfg := solar.DefaultFarm(areaM2)
+	cfg.Profile = solar.Profile(profile)
+	cfg.Slots = slots
+	cfg.Seed = seed
+	return solar.Generate(cfg)
+}
+
+// GenerateWind produces a synthetic wind trace from the default turbine
+// farm scaled to `turbines` units.
+func GenerateWind(turbines, slots int, seed int64) (SolarSeries, error) {
+	cfg := wind.DefaultFarm()
+	cfg.Count = turbines
+	cfg.Slots = slots
+	cfg.Seed = seed
+	return wind.Generate(cfg)
+}
+
+// Experiments returns the full evaluation registry (E1..E21) in order.
+func Experiments() []Experiment { return expt.All() }
+
+// ExperimentByID looks up one experiment ("E1".."E16").
+func ExperimentByID(id string) (Experiment, bool) { return expt.ByID(id) }
+
+// Scenario is the JSON-serializable run description; see
+// internal/scenario for the field documentation.
+type Scenario = scenario.Scenario
+
+// DefaultScenario returns the quarter-scale reference scenario.
+func DefaultScenario() Scenario { return scenario.Default() }
+
+// CostConfig and CostBreakdown expose the economics layer.
+type (
+	CostConfig    = cost.Config
+	CostBreakdown = cost.Breakdown
+)
+
+// DefaultCostConfig returns representative 2016-era prices.
+func DefaultCostConfig() CostConfig { return cost.DefaultConfig() }
+
+// EvaluateCost prices one run: grid bill + battery wear + amortized PV.
+func EvaluateCost(c CostConfig, res *Result, spec BatterySpec, capacity Energy, areaM2 float64) (CostBreakdown, error) {
+	return cost.Evaluate(c, res, spec, capacity, areaM2)
+}
+
+// CarbonIntensity models grid carbon per kWh; FlatIntensity and
+// DiurnalIntensity are the built-in signals.
+type (
+	CarbonIntensity  = carbon.Intensity
+	FlatIntensity    = carbon.Flat
+	DiurnalIntensity = carbon.Diurnal
+)
+
+// CarbonFootprint integrates a run's brown draw (requires
+// Config.RecordSeries) against an intensity signal, in kg CO2e.
+func CarbonFootprint(res *Result, in CarbonIntensity) (float64, error) {
+	return carbon.Footprint(res.Series, in)
+}

@@ -1,0 +1,136 @@
+package greenmatch
+
+import (
+	"testing"
+)
+
+// fastConfig shrinks the reference scenario for facade-level smoke tests.
+func fastConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cl := cfg.Cluster
+	cl.Nodes = 6
+	cl.Objects = 300
+	cfg.Cluster = cl
+	tr, err := GenerateWorkload(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = tr
+	cfg.Green = DefaultGreen(30)
+	cfg.ReadsPerSlot = 20
+	return cfg
+}
+
+func TestFacadeRun(t *testing.T) {
+	cfg := fastConfig(t)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLA.Completed != len(cfg.Trace) {
+		t.Fatalf("completed %d/%d", res.SLA.Completed, len(cfg.Trace))
+	}
+	if res.Energy.ConservationError() > 1 {
+		t.Fatalf("conservation error %v", res.Energy.ConservationError())
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	for _, p := range []Policy{Baseline{}, SpinDown{}, DeferFraction{Fraction: 0.5}, GreenMatch{}} {
+		cfg := fastConfig(t)
+		cfg.Policy = p
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestFacadeSimulatorIsSingleUse(t *testing.T) {
+	sim, err := NewSimulator(fastConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBatterySpec(t *testing.T) {
+	li, err := BatterySpecFor(LithiumIon)
+	if err != nil || li.Efficiency != 0.85 {
+		t.Fatalf("LI spec wrong: %+v, %v", li, err)
+	}
+	if _, err := BatterySpecFor("unknown"); err == nil {
+		t.Fatal("unknown chemistry should error")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	tr, err := GenerateWorkload(0.05, 7)
+	if err != nil || len(tr) == 0 {
+		t.Fatalf("workload: %v, %d jobs", err, len(tr))
+	}
+	sol, err := GenerateSolar(50, "mixed", 168, 7)
+	if err != nil || sol.Slots() != 168 {
+		t.Fatalf("solar: %v", err)
+	}
+	if _, err := GenerateSolar(50, "hurricane", 168, 7); err == nil {
+		t.Fatal("bad profile should error")
+	}
+	w, err := GenerateWind(2, 168, 7)
+	if err != nil || w.Slots() != 168 {
+		t.Fatalf("wind: %v", err)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 21 {
+		t.Fatalf("want 21 experiments, got %d", len(Experiments()))
+	}
+	e, ok := ExperimentByID("E1")
+	if !ok || e.ID != "E1" {
+		t.Fatal("E1 lookup failed")
+	}
+}
+
+func TestFacadeCostAndCarbon(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.RecordSeries = true
+	cfg.BatteryCapacityWh = 5000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := BatterySpecFor(LithiumIon)
+	bd, err := EvaluateCost(DefaultCostConfig(), res, spec, cfg.BatteryCapacityWh, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() <= 0 {
+		t.Fatalf("cost total %v", bd.Total())
+	}
+	kg, err := CarbonFootprint(res, FlatIntensity{GramsPerKWh: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg <= 0 {
+		t.Fatalf("carbon %v kg", kg)
+	}
+	d := DiurnalIntensity{BaseGramsPerKWh: 250, PeakGramsPerKWh: 450}
+	if _, err := CarbonFootprint(res, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	s := DefaultScenario()
+	s.WorkloadScale = 0.05
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

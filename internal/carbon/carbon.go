@@ -1,0 +1,87 @@
+// Package carbon converts the simulator's brown-energy draw into a carbon
+// footprint under a time-varying grid carbon-intensity signal. Grid
+// intensity is not flat: evening peaks are served by gas peakers (dirty)
+// while night base load and midday (in solar-rich grids) are cleaner —
+// which means *when* a data center draws its brown energy changes its
+// footprint, exactly the lever renewable-aware scheduling pulls.
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Intensity yields the grid carbon intensity, in grams CO2-equivalent per
+// kWh, for each simulation slot.
+type Intensity interface {
+	// At returns the intensity during slot i.
+	At(slot int) float64
+	// Name identifies the signal in reports.
+	Name() string
+}
+
+// Flat is a constant-intensity grid.
+type Flat struct {
+	// GramsPerKWh is the constant intensity (the 2016 EU average is ~300).
+	GramsPerKWh float64
+}
+
+// Name implements Intensity.
+func (f Flat) Name() string { return fmt.Sprintf("flat%.0f", f.GramsPerKWh) }
+
+// At implements Intensity.
+func (f Flat) At(int) float64 { return f.GramsPerKWh }
+
+// Diurnal is a sinusoidal daily intensity profile peaking in the evening,
+// the first-order shape of fossil-marginal grids.
+type Diurnal struct {
+	// BaseGramsPerKWh is the daily minimum (night base load).
+	BaseGramsPerKWh float64
+	// PeakGramsPerKWh is the evening maximum.
+	PeakGramsPerKWh float64
+	// PeakHour is the hour of day of the maximum (default 19).
+	PeakHour int
+}
+
+// DefaultDiurnal returns a representative fossil-marginal profile:
+// 250 g/kWh at night rising to 450 g/kWh at 19:00.
+func DefaultDiurnal() Diurnal {
+	return Diurnal{BaseGramsPerKWh: 250, PeakGramsPerKWh: 450, PeakHour: 19}
+}
+
+// Name implements Intensity.
+func (d Diurnal) Name() string {
+	return fmt.Sprintf("diurnal%.0f-%.0f", d.BaseGramsPerKWh, d.PeakGramsPerKWh)
+}
+
+// At implements Intensity.
+func (d Diurnal) At(slot int) float64 {
+	peak := d.PeakHour
+	if peak == 0 {
+		peak = 19
+	}
+	hour := slot % 24
+	phase := 2 * math.Pi * float64(hour-peak) / 24
+	// Cosine peaking at PeakHour.
+	mid := (d.BaseGramsPerKWh + d.PeakGramsPerKWh) / 2
+	amp := (d.PeakGramsPerKWh - d.BaseGramsPerKWh) / 2
+	return mid + amp*math.Cos(phase)
+}
+
+// Footprint integrates the run's brown draw against the intensity signal
+// and returns kilograms of CO2-equivalent. It needs the per-slot series
+// (Config.RecordSeries); a run without one returns an error rather than a
+// silently flat approximation.
+func Footprint(series *metrics.TimeSeries, in Intensity) (float64, error) {
+	if series == nil || len(series.Samples) == 0 {
+		return 0, fmt.Errorf("carbon: footprint needs a recorded time series")
+	}
+	grams := 0.0
+	for _, s := range series.Samples {
+		// 1-hour slots: BrownW == Wh for the slot.
+		grams += s.BrownW / 1000 * in.At(s.Slot)
+	}
+	return grams / 1000, nil
+}

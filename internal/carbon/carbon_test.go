@@ -1,0 +1,79 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestFlat(t *testing.T) {
+	f := Flat{GramsPerKWh: 300}
+	if f.At(0) != 300 || f.At(999) != 300 {
+		t.Fatal("flat intensity not flat")
+	}
+	if f.Name() != "flat300" {
+		t.Errorf("name %q", f.Name())
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := DefaultDiurnal()
+	if d.At(19) != 450 {
+		t.Errorf("peak hour intensity %v, want 450", d.At(19))
+	}
+	if math.Abs(d.At(7)-250) > 1e-9 { // 12h opposite the peak
+		t.Errorf("trough intensity %v, want 250", d.At(7))
+	}
+	for h := 0; h < 48; h++ {
+		v := d.At(h)
+		if v < 250-1e-9 || v > 450+1e-9 {
+			t.Fatalf("hour %d intensity %v outside [base, peak]", h, v)
+		}
+	}
+	// Periodicity.
+	if d.At(5) != d.At(29) {
+		t.Error("diurnal profile not 24h-periodic")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	var ts metrics.TimeSeries
+	ts.Add(metrics.SlotSample{Slot: 0, BrownW: 1000}) // 1 kWh
+	ts.Add(metrics.SlotSample{Slot: 1, BrownW: 2000}) // 2 kWh
+	kg, err := Footprint(&ts, Flat{GramsPerKWh: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kg-0.9) > 1e-9 { // 3 kWh * 300 g = 900 g
+		t.Fatalf("footprint %v kg, want 0.9", kg)
+	}
+}
+
+func TestFootprintWeightsByTime(t *testing.T) {
+	d := DefaultDiurnal()
+	var evening, night metrics.TimeSeries
+	evening.Add(metrics.SlotSample{Slot: 19, BrownW: 1000})
+	night.Add(metrics.SlotSample{Slot: 7, BrownW: 1000})
+	ekg, _ := Footprint(&evening, d)
+	nkg, _ := Footprint(&night, d)
+	if ekg <= nkg {
+		t.Fatalf("evening kWh (%v kg) should be dirtier than night kWh (%v kg)", ekg, nkg)
+	}
+}
+
+func TestFootprintNeedsSeries(t *testing.T) {
+	if _, err := Footprint(nil, Flat{300}); err == nil {
+		t.Fatal("nil series should error")
+	}
+	if _, err := Footprint(&metrics.TimeSeries{}, Flat{300}); err == nil {
+		t.Fatal("empty series should error")
+	}
+}
+
+func TestDiurnalDefaultPeakHour(t *testing.T) {
+	d := Diurnal{BaseGramsPerKWh: 100, PeakGramsPerKWh: 200}
+	if d.At(19) != 200 {
+		t.Fatalf("zero PeakHour should default to 19, got peak %v at 19", d.At(19))
+	}
+}

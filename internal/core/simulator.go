@@ -1,0 +1,930 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/battery"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/simevent"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// jobState is the simulator-side lifecycle record of one job.
+type jobState struct {
+	job         workload.Job
+	remaining   int
+	node        int // -1 when not placed
+	running     bool
+	mandatory   bool // web, or deferrable promoted at slack exhaustion
+	everStarted bool
+	firstStart  int
+	suspensions int
+	migrations  int
+	completedAt int // -1 until completed
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Policy is the policy name, for reports.
+	Policy string
+	// Slots is the number of slots simulated.
+	Slots int
+	// Energy is the full energy-flow account.
+	Energy metrics.EnergyAccount
+	// SLA is the service-quality account.
+	SLA metrics.SLAAccount
+	// Battery is the ESD-internal account.
+	Battery battery.Account
+	// BatteryCapacityWh echoes the configured size.
+	BatteryCapacityWh units.Energy
+	// BatteryCycles is the equivalent full cycles the ESD delivered;
+	// BatteryWear is the fraction of rated cycle life consumed.
+	BatteryCycles float64
+	BatteryWear   float64
+	// Disk aggregates disk activity.
+	Disk storage.DiskStats
+	// NodeBoots and NodeShutdowns count node power transitions.
+	NodeBoots     int
+	NodeShutdowns int
+	// NodeHours is the total powered-node time (node count integrated over
+	// slots); DiskSpunHours likewise for spinning disks.
+	NodeHours     float64
+	DiskSpunHours float64
+	// ReadLatencyMs digests the per-read service latency (cold reads pay
+	// the spin-up wait).
+	ReadLatencyMs stats.Summary
+	// Series is the per-slot trace (nil unless Config.RecordSeries).
+	Series *metrics.TimeSeries
+}
+
+// Simulator executes one configured run. Create with New, execute with Run.
+type Simulator struct {
+	cfg     Config
+	cluster *storage.Cluster
+	bat     *battery.Battery
+	reads   *storage.ReadModel
+	engine  *simevent.Engine
+
+	lastArrival int
+
+	waiting   []*jobState // deferrable, not running, not promoted
+	mandQueue []*jobState // mandatory, not yet placed
+	running   []*jobState
+
+	fullCover      []storage.DiskID
+	fullCoverNodes map[int]bool
+	// coverCache memoizes CoverOnNodes results by powered-node set: the
+	// same node sets recur across slots and greedy set cover is the
+	// simulator's hottest path.
+	coverCache map[string][]storage.DiskID
+
+	acct      metrics.EnergyAccount
+	sla       metrics.SLAAccount
+	series    *metrics.TimeSeries
+	nodeHours float64
+	diskHours float64
+
+	// lastDrawW and lastRunDeferrable feed the self-correcting mandatory
+	// power estimate (previous slot's measured draw minus the deferrable
+	// jobs' planning share).
+	lastDrawW         units.Power
+	lastRunDeferrable int
+
+	// Failure injection state.
+	failStream *rng.Stream
+	repairAt   map[int]int // failed node -> slot it returns to service
+	nextJobID  int         // for synthesized repair jobs
+}
+
+// New validates the config (after applying defaults) and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Normalize the node count for tiered clusters so every consumer of
+	// cfg.Cluster.Nodes (placement, capacity planning, cover-cache keys)
+	// sees the effective total.
+	cfg.Cluster.Nodes = cfg.Cluster.TotalNodes()
+	cluster, err := storage.NewCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	var bat *battery.Battery
+	if cfg.InfiniteBattery {
+		bat = battery.Infinite(cfg.BatterySpec)
+	} else {
+		bat, err = battery.New(cfg.BatterySpec, cfg.BatteryCapacityWh)
+		if err != nil {
+			return nil, err
+		}
+	}
+	reads, err := storage.NewReadModel(cluster, cfg.ReadsPerSlot, cfg.ZipfTheta, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reads.Latencies = &stats.Distribution{}
+	s := &Simulator{
+		cfg:     cfg,
+		cluster: cluster,
+		bat:     bat,
+		reads:   reads,
+		engine:  simevent.NewEngine(),
+	}
+	s.fullCover = cluster.MinimalCover()
+	s.fullCoverNodes = make(map[int]bool)
+	for _, id := range s.fullCover {
+		s.fullCoverNodes[id.Node] = true
+	}
+	for _, j := range cfg.Trace {
+		if j.Submit > s.lastArrival {
+			s.lastArrival = j.Submit
+		}
+		if j.ID >= s.nextJobID {
+			s.nextJobID = j.ID + 1
+		}
+	}
+	if cfg.RecordSeries {
+		s.series = &metrics.TimeSeries{}
+	}
+	if cfg.FailureMTBFHours > 0 {
+		s.failStream = rng.New(cfg.Seed, "node-failures")
+		s.repairAt = make(map[int]int)
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+// A Simulator is single-use.
+func (s *Simulator) Run() (*Result, error) {
+	// Arrivals ride the event engine at PriArrival so a same-slot tick
+	// (PriTick) sees them.
+	for i := range s.cfg.Trace {
+		j := s.cfg.Trace[i]
+		s.engine.ScheduleAt(float64(j.Submit)*s.cfg.SlotHours, simevent.PriArrival, func() {
+			s.admit(j)
+		})
+	}
+
+	maxSlot := s.lastArrival + s.cfg.MaxOverrunSlots
+	slots := 0
+	for t := 0; t <= maxSlot; t++ {
+		// Drain arrivals up to and including this slot boundary.
+		s.engine.Run(float64(t) * s.cfg.SlotHours)
+		s.step(t)
+		slots = t + 1
+		if t >= s.lastArrival && len(s.waiting) == 0 && len(s.mandQueue) == 0 && len(s.running) == 0 {
+			break
+		}
+	}
+
+	// Stragglers that never completed are deadline misses.
+	s.sla.DeadlineMisses += len(s.waiting) + len(s.mandQueue) + len(s.running)
+
+	ba := s.bat.Account()
+	s.acct.BatteryInAccepted = ba.InAccepted
+	s.acct.BatteryEffLoss = ba.EfficiencyLoss
+	s.acct.BatterySelfLoss = ba.SelfDischargeLoss
+
+	boots, shutdowns := 0, 0
+	for _, n := range s.cluster.Nodes() {
+		boots += n.Boots
+		shutdowns += n.Shutdowns
+	}
+	res := &Result{
+		Policy:            s.cfg.Policy.Name(),
+		Slots:             slots,
+		Energy:            s.acct,
+		SLA:               s.sla,
+		Battery:           ba,
+		BatteryCapacityWh: s.bat.Capacity(),
+		BatteryCycles:     s.bat.EquivalentFullCycles(),
+		BatteryWear:       s.bat.WearFraction(),
+		Disk:              s.cluster.DiskStatsTotal(),
+		NodeBoots:         boots,
+		NodeShutdowns:     shutdowns,
+		NodeHours:         s.nodeHours,
+		DiskSpunHours:     s.diskHours,
+		ReadLatencyMs:     s.reads.Latencies.Summarize(),
+		Series:            s.series,
+	}
+	if err := s.checkConservation(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run is the one-shot convenience: build a simulator for cfg and execute it.
+func Run(cfg Config) (*Result, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// admit classifies a newly arrived job.
+func (s *Simulator) admit(j workload.Job) {
+	s.sla.Submitted++
+	st := &jobState{job: j, remaining: j.Duration, node: -1, completedAt: -1}
+	if j.Class.Deferrable() {
+		s.waiting = append(s.waiting, st)
+	} else {
+		st.mandatory = true
+		s.mandQueue = append(s.mandQueue, st)
+	}
+}
+
+// stepFailures injects node crashes and processes repairs at slot t.
+func (s *Simulator) stepFailures(t int) {
+	// Repaired nodes return to service (powered off; the power plan may
+	// boot them when needed).
+	for id, due := range s.repairAt {
+		if due <= t {
+			s.cluster.RepairNode(id)
+			delete(s.repairAt, id)
+		}
+	}
+	pFail := s.cfg.SlotHours / s.cfg.FailureMTBFHours
+	for _, n := range s.cluster.Nodes() {
+		if n.Failed || !n.Powered {
+			continue
+		}
+		if !s.failStream.Bernoulli(pFail) {
+			continue
+		}
+		lost := s.cluster.FailNode(n.ID)
+		s.sla.NodeFailures++
+		s.repairAt[n.ID] = t + s.cfg.NodeRepairSlots
+		// Evict the node's jobs: progress is kept (the VM image survives
+		// on shared replicas), placement is lost.
+		kept := s.running[:0]
+		for _, st := range s.running {
+			if st.node != n.ID {
+				kept = append(kept, st)
+				continue
+			}
+			st.running = false
+			st.node = -1
+			s.sla.Evictions++
+			if st.mandatory {
+				s.mandQueue = append(s.mandQueue, st)
+			} else {
+				s.waiting = append(s.waiting, st)
+			}
+		}
+		s.running = kept
+		// Synthesize re-replication work: one Repair job per ~100 degraded
+		// objects, I/O-bound with a tight deadline.
+		repairs := (lost + 99) / 100
+		for k := 0; k < repairs; k++ {
+			dur := 1 + k%2
+			job := workload.Job{
+				ID:       s.nextJobID,
+				Class:    workload.Repair,
+				Submit:   t,
+				Duration: dur,
+				Deadline: t + dur + 8,
+				CPU:      1,
+				RAMGB:    1,
+				IOBound:  true,
+			}
+			s.nextJobID++
+			s.sla.RepairJobsGenerated++
+			s.admit(job)
+		}
+	}
+}
+
+// failedNodes returns the currently failed node set (nil when failure
+// injection is off).
+func (s *Simulator) failedNodes() map[int]bool {
+	if len(s.repairAt) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(s.repairAt))
+	for id := range s.repairAt {
+		out[id] = true
+	}
+	return out
+}
+
+// step executes one slot.
+func (s *Simulator) step(t int) {
+	h := s.cfg.SlotHours
+	var overhead units.Energy
+
+	// 0. Failure injection: crashes, evictions, repair-job synthesis.
+	if s.failStream != nil {
+		s.stepFailures(t)
+	}
+
+	// 1. Promote slack-exhausted deferrable jobs to mandatory.
+	kept := s.waiting[:0]
+	for _, st := range s.waiting {
+		if st.job.SlackAt(t, st.remaining) <= 0 {
+			st.mandatory = true
+			s.mandQueue = append(s.mandQueue, st)
+		} else {
+			kept = append(kept, st)
+		}
+	}
+	s.waiting = kept
+
+	// 2. Ask the policy for a plan.
+	view := s.buildView(t)
+	dec := s.cfg.Policy.Plan(view)
+
+	// 3. Apply suspensions (running deferrable -> waiting). Each one
+	// charges the VM save/restore energy alongside migrations.
+	var mgmtE units.Energy
+	if len(dec.SuspendRunning) > 0 {
+		suspendSet := make(map[int]bool, len(dec.SuspendRunning))
+		for _, idx := range dec.SuspendRunning {
+			if idx < 0 || idx >= len(view.RunningDeferrable) {
+				panic(fmt.Sprintf("core: policy %s suspended invalid index %d", s.cfg.Policy.Name(), idx))
+			}
+			suspendSet[view.RunningDeferrable[idx].Job.ID] = true
+		}
+		keptRunning := s.running[:0]
+		for _, st := range s.running {
+			if suspendSet[st.job.ID] && !st.mandatory {
+				st.running = false
+				st.node = -1
+				st.suspensions++
+				s.sla.Suspensions++
+				mgmtE += s.cfg.SuspendCostWh
+				s.waiting = append(s.waiting, st)
+			} else {
+				keptRunning = append(keptRunning, st)
+			}
+		}
+		s.running = keptRunning
+	}
+
+	// 4. Collect starts: all mandatory plus the policy's picks. The view
+	// was built before suspensions mutated s.waiting, and promotion ran
+	// before the view, so view.Waiting indices still address the same jobs;
+	// resolve by ID to stay robust.
+	startIDs := make(map[int]bool)
+	for _, idx := range dec.StartWaiting {
+		if idx < 0 || idx >= len(view.Waiting) {
+			panic(fmt.Sprintf("core: policy %s started invalid index %d", s.cfg.Policy.Name(), idx))
+		}
+		startIDs[view.Waiting[idx].Job.ID] = true
+	}
+	var toStart []*jobState
+	toStart = append(toStart, s.mandQueue...)
+	keptWaiting := s.waiting[:0]
+	for _, st := range s.waiting {
+		if startIDs[st.job.ID] {
+			toStart = append(toStart, st)
+		} else {
+			keptWaiting = append(keptWaiting, st)
+		}
+	}
+	s.waiting = keptWaiting
+
+	// 5. Placement (returns migration energy; together with suspension
+	// energy it forms the VM-management overhead, accounted separately
+	// from transition overhead but part of the slot's load).
+	migE := s.place(t, toStart, dec.Consolidate) + mgmtE
+
+	// 6. Node power management + disk plan.
+	overhead += s.applyPowerPlan(dec.SpinDownDisks)
+
+	// 7. Storage read traffic (may wake disks).
+	rr := s.reads.Step(s.cluster)
+	overhead += rr.WakeEnergy
+	s.sla.ColdReads += rr.ColdReads
+	s.sla.UnservedReads += rr.Unserviceable
+
+	// 8. I/O-bound jobs keep disks on their node busy.
+	overhead += s.markIOBusy()
+
+	// 8b. Under the utilization model, resolve physical overloads that
+	// over-commit provoked (forced migrations, throttling as last resort).
+	if s.cfg.ModelUtilization {
+		migE += s.resolveOverloads(t)
+	}
+
+	// 9. Power draw and energy settlement.
+	cpuUtil := s.cpuUtilByNode()
+	if s.cfg.ModelUtilization {
+		cpuUtil = s.actualUtilByNode(t)
+	}
+	demandP := s.cluster.SlotDraw(cpuUtil)
+	demandE := demandP.Over(h)
+	s.acct.Demand += demandE
+	s.acct.TransitionOverhead += overhead
+	s.acct.MigrationOverhead += migE
+
+	load := demandE + overhead + migE
+	greenAvail := s.cfg.Green.Power(t).Over(h)
+	s.acct.GreenProduced += greenAvail
+
+	greenDirect := units.MinEnergy(load, greenAvail)
+	s.acct.GreenDirect += greenDirect
+
+	deficit := units.NonNegE(load - greenDirect)
+	var batOut units.Energy
+	if deficit > 0 {
+		batOut = s.bat.Discharge(deficit, h)
+	}
+	s.acct.BatteryOut += batOut
+	brown := units.NonNegE(deficit - batOut)
+	s.acct.Brown += brown
+
+	surplus := units.NonNegE(greenAvail - greenDirect)
+	var accepted units.Energy
+	if surplus > 0 {
+		accepted = s.bat.Charge(surplus, h)
+	}
+	s.acct.GreenLost += surplus - accepted
+	s.bat.TickSelfDischarge(h)
+
+	// Feed the next slot's mandatory-power estimate.
+	s.lastDrawW = demandP
+	s.lastRunDeferrable = 0
+	for _, st := range s.running {
+		if !st.mandatory {
+			s.lastRunDeferrable++
+		}
+	}
+
+	// 10. Progress and completions.
+	jobsRunning := len(s.running)
+	keptRunning := s.running[:0]
+	for _, st := range s.running {
+		st.remaining--
+		if st.remaining <= 0 {
+			st.completedAt = t + 1
+			st.running = false
+			s.sla.Completed++
+			if st.completedAt > st.job.Deadline {
+				s.sla.DeadlineMisses++
+			}
+		} else {
+			keptRunning = append(keptRunning, st)
+		}
+	}
+	s.running = keptRunning
+
+	// 11. Node/disk-hour integration, series sample and slot reset.
+	spun := 0
+	for _, n := range s.cluster.Nodes() {
+		if !n.Powered {
+			continue
+		}
+		for _, d := range n.Disks {
+			if d.SpunUp() {
+				spun++
+			}
+		}
+	}
+	s.nodeHours += float64(len(s.cluster.PoweredNodes())) * h
+	s.diskHours += float64(spun) * h
+	if s.series != nil {
+		s.series.Add(metrics.SlotSample{
+			Slot:        t,
+			DemandW:     float64(load.Rate(h)),
+			GreenW:      float64(greenAvail.Rate(h)),
+			GreenUsedW:  float64(greenDirect.Rate(h)),
+			BatteryOutW: float64(batOut.Rate(h)),
+			BatteryInW:  float64(accepted.Rate(h)),
+			BrownW:      float64(brown.Rate(h)),
+			GreenLostW:  float64((surplus - accepted).Rate(h)),
+			BatterySoC:  s.bat.SoC(),
+			NodesOn:     len(s.cluster.PoweredNodes()),
+			DisksSpun:   spun,
+			JobsRunning: jobsRunning,
+			JobsWaiting: len(s.waiting) + len(s.mandQueue),
+		})
+	}
+	s.cluster.ResetSlot()
+}
+
+// buildView assembles the policy's view of the current slot.
+func (s *Simulator) buildView(t int) sched.View {
+	v := sched.View{
+		Slot:               t,
+		SlotHours:          s.cfg.SlotHours,
+		GreenForecast:      s.cfg.Forecaster.Predict(s.cfg.Green, t, 24),
+		EstMandatoryPowerW: s.estMandatoryPower(),
+		PerJobPowerW:       s.cfg.PerJobPowerW,
+		BatterySoC:         s.bat.SoC(),
+		BatteryUsableWh:    s.bat.UsableCapacity(),
+		BatteryEfficiency:  s.bat.Spec().Efficiency,
+		TotalCPUCapacity:   float64(s.cfg.Cluster.Nodes) * s.cfg.Cluster.CPUPerNode * s.cfg.Overcommit,
+	}
+	for _, st := range s.running {
+		if st.mandatory {
+			v.EstMandatoryCPU += st.job.CPU
+		} else {
+			v.RunningDeferrableCPU += st.job.CPU
+		}
+	}
+	for _, st := range s.mandQueue {
+		v.EstMandatoryCPU += st.job.CPU
+	}
+	if math.IsInf(float64(v.BatteryUsableWh), 1) {
+		v.BatteryUsableWh = units.Energy(math.MaxFloat64)
+	}
+	for _, st := range s.waiting {
+		v.Waiting = append(v.Waiting, sched.JobRef{Job: st.job, Remaining: st.remaining})
+	}
+	for _, st := range s.running {
+		if !st.mandatory && st.job.Class.Deferrable() {
+			v.RunningDeferrable = append(v.RunningDeferrable, sched.JobRef{
+				Job: st.job, Remaining: st.remaining, Running: true, Node: st.node,
+			})
+		}
+	}
+	return v
+}
+
+// estMandatoryPower estimates the power the mandatory load will draw this
+// and near-future slots. After the first slot it self-corrects from the
+// previous slot's measured draw minus the planning share of the deferrable
+// jobs that were running — this tracks whatever disk/node regime the policy
+// actually operates in (a static analytic estimate systematically
+// overestimates under spin-down, starving the matcher of headroom). It is
+// floored at the coverage-node keep-alive power and, on the first slot,
+// falls back to the analytic estimate.
+func (s *Simulator) estMandatoryPower() units.Power {
+	np := s.cfg.Cluster.NodeProfile
+	floor := units.Power(float64(len(s.fullCoverNodes)) * float64(np.MinOnNodePower()))
+	if s.lastDrawW > 0 {
+		est := s.lastDrawW - units.Power(float64(s.cfg.PerJobPowerW)*float64(s.lastRunDeferrable))
+		return units.MaxPower(est, floor)
+	}
+	cpu := 0.0
+	for _, st := range s.running {
+		if st.mandatory {
+			cpu += st.job.CPU
+		}
+	}
+	for _, st := range s.mandQueue {
+		cpu += st.job.CPU
+	}
+	nodesNeeded := int(math.Ceil(cpu / (s.cfg.Cluster.CPUPerNode * s.cfg.Overcommit)))
+	if nodesNeeded < len(s.fullCoverNodes) {
+		nodesNeeded = len(s.fullCoverNodes)
+	}
+	base := float64(np.Server.IdleW) + float64(np.Disk.IdleW)*float64(np.DisksPerNode)
+	dynamic := cpu / s.cfg.Cluster.CPUPerNode * float64(np.Server.PeakW-np.Server.IdleW)
+	return units.MaxPower(units.Power(float64(nodesNeeded)*base+dynamic), floor)
+}
+
+// place seats running plus starting jobs on nodes. With consolidate it
+// repacks everything (counting migrations); otherwise running jobs stay
+// pinned and only new jobs are placed. Returns the migration energy.
+func (s *Simulator) place(t int, toStart []*jobState, consolidate bool) units.Energy {
+	items := make([]sched.PlaceItem, 0, len(s.running)+len(toStart))
+	byID := make(map[int]*jobState, len(s.running)+len(toStart))
+	for _, st := range s.running {
+		pin := st.node
+		if consolidate {
+			pin = -1
+		}
+		items = append(items, sched.PlaceItem{ID: st.job.ID, CPU: st.job.CPU, RAM: st.job.RAMGB, Pinned: pin})
+		byID[st.job.ID] = st
+	}
+	for _, st := range toStart {
+		items = append(items, sched.PlaceItem{ID: st.job.ID, CPU: st.job.CPU, RAM: st.job.RAMGB, Pinned: -1})
+		byID[st.job.ID] = st
+	}
+	pl, err := sched.FFDAvoiding(items, s.cfg.Cluster.Nodes, s.cfg.Cluster.CPUPerNode,
+		s.cfg.Cluster.RAMPerNodeGB, s.cfg.Overcommit, s.failedNodes())
+	if err != nil {
+		panic(fmt.Sprintf("core: placement failed: %v", err))
+	}
+
+	var migE units.Energy
+	unplaced := make(map[int]bool, len(pl.Unplaced))
+	for _, id := range pl.Unplaced {
+		unplaced[id] = true
+	}
+
+	// Settle running jobs: migrations, or forced stay for unplaced.
+	for _, st := range s.running {
+		if unplaced[st.job.ID] {
+			continue // stays on its current node; capacity pressure is absorbed by over-commit clamping
+		}
+		newNode := pl.NodeOf[st.job.ID]
+		if newNode != st.node {
+			st.node = newNode
+			st.migrations++
+			s.sla.Migrations++
+			migE += s.cfg.MigrationCostWh
+		}
+	}
+	// Seat starters; unplaced ones return to their queue.
+	for _, st := range toStart {
+		if unplaced[st.job.ID] {
+			if st.mandatory {
+				s.mandQueue = appendUnique(s.mandQueue, st)
+			} else {
+				s.waiting = append(s.waiting, st)
+			}
+			continue
+		}
+		st.node = pl.NodeOf[st.job.ID]
+		st.running = true
+		if !st.everStarted {
+			st.everStarted = true
+			st.firstStart = t
+			wait := t - st.job.Submit
+			s.sla.TotalWaitSlots += wait
+			if wait > s.sla.MaxWaitSlots {
+				s.sla.MaxWaitSlots = wait
+			}
+		}
+		s.running = append(s.running, st)
+	}
+	// Remove seated jobs from the mandatory queue.
+	keptQ := s.mandQueue[:0]
+	for _, st := range s.mandQueue {
+		if !st.running {
+			keptQ = append(keptQ, st)
+		}
+	}
+	s.mandQueue = keptQ
+
+	return migE
+}
+
+// appendUnique appends st if not already present (by pointer).
+func appendUnique(xs []*jobState, st *jobState) []*jobState {
+	for _, x := range xs {
+		if x == st {
+			return xs
+		}
+	}
+	return append(xs, st)
+}
+
+// applyPowerPlan powers exactly the needed nodes and, when spinDown is set,
+// parks every disk outside the coverage set and the I/O-pinned set. It
+// returns the transition energy.
+func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
+	needed := make(map[int]bool)
+	ioNodes := make(map[int]bool)
+	for _, st := range s.running {
+		needed[st.node] = true
+		if st.job.IOBound {
+			ioNodes[st.node] = true
+		}
+	}
+
+	var overhead units.Energy
+	var keep map[storage.DiskID]bool
+
+	failed := s.failedNodes()
+	if spinDown {
+		cover, ok := s.coveredOn(needed)
+		if !ok {
+			// Expand with the precomputed full-cover nodes (minus any that
+			// have failed), which suffice whenever the cluster is healthy.
+			for n := range s.fullCoverNodes {
+				if !failed[n] {
+					needed[n] = true
+				}
+			}
+			cover, ok = s.coveredOn(needed)
+			if !ok {
+				// Failures left some objects with no reachable replica:
+				// cover what is coverable on every healthy node; the
+				// remainder shows up as unserved reads.
+				healthy := make(map[int]bool)
+				for _, n := range s.cluster.Nodes() {
+					if !n.Failed {
+						healthy[n.ID] = true
+					}
+				}
+				partial, _ := s.cluster.PartialCoverOnNodes(healthy)
+				cover = partial
+				for _, id := range partial {
+					needed[id.Node] = true
+				}
+			}
+		}
+		keep = make(map[storage.DiskID]bool, len(cover))
+		for _, id := range cover {
+			keep[id] = true
+			needed[id.Node] = true
+		}
+		// I/O-bound jobs need their node's disks spinning.
+		for n := range ioNodes {
+			for _, d := range s.cluster.Node(n).Disks {
+				keep[d.ID] = true
+			}
+		}
+	} else {
+		for n := range s.fullCoverNodes {
+			if !failed[n] {
+				needed[n] = true
+			}
+		}
+		keep = make(map[storage.DiskID]bool)
+		for n := range needed {
+			for _, d := range s.cluster.Node(n).Disks {
+				keep[d.ID] = true
+			}
+		}
+	}
+
+	// Apply node power state.
+	for _, n := range s.cluster.Nodes() {
+		if needed[n.ID] && !n.Powered {
+			overhead += s.cluster.PowerOnNode(n.ID)
+		} else if !needed[n.ID] && n.Powered {
+			overhead += s.cluster.PowerOffNode(n.ID)
+		}
+	}
+	overhead += s.cluster.ApplyDiskPlan(keep)
+	return overhead
+}
+
+// coveredOn is CoverOnNodes with memoization by node-set key (the failed
+// set participates in the key: a node set covers differently depending on
+// which nodes are crashed). A nil result (set cannot cover) is cached too,
+// as a sentinel.
+func (s *Simulator) coveredOn(nodes map[int]bool) ([]storage.DiskID, bool) {
+	key := make([]byte, s.cfg.Cluster.Nodes)
+	for n := range nodes {
+		key[n] = 1
+	}
+	for n := range s.repairAt {
+		key[n] |= 2
+	}
+	k := string(key)
+	if s.coverCache == nil {
+		s.coverCache = make(map[string][]storage.DiskID)
+	}
+	if cached, ok := s.coverCache[k]; ok {
+		if len(cached) == 1 && cached[0].Node < 0 {
+			return nil, false
+		}
+		return cached, true
+	}
+	cover, ok := s.cluster.CoverOnNodes(nodes)
+	if !ok {
+		s.coverCache[k] = []storage.DiskID{{Node: -1, Disk: -1}}
+		return nil, false
+	}
+	s.coverCache[k] = cover
+	return cover, true
+}
+
+// markIOBusy marks disks busy on nodes hosting I/O-bound jobs (three per
+// job, spread by job id), spinning them up if a policy parked them. It
+// returns the spin-up energy charged.
+func (s *Simulator) markIOBusy() units.Energy {
+	var e units.Energy
+	perNode := s.cfg.Cluster.NodeProfile.DisksPerNode
+	for _, st := range s.running {
+		if !st.job.IOBound {
+			continue
+		}
+		node := s.cluster.Node(st.node)
+		for k := 0; k < 3 && k < perNode; k++ {
+			d := node.Disks[(st.job.ID+k)%perNode]
+			if !d.SpunUp() {
+				e += d.SpinUp()
+			}
+			d.MarkBusy()
+		}
+	}
+	return e
+}
+
+// actualUtilByNode computes per-node CPU utilization from the jobs'
+// modeled per-slot demand (reservation x utilization factor), clamped to 1
+// — any residual overload after resolveOverloads is throttled hardware.
+func (s *Simulator) actualUtilByNode(t int) map[int]float64 {
+	util := make(map[int]float64)
+	for _, st := range s.running {
+		util[st.node] += st.job.CPU * st.job.UtilAt(t) / s.cfg.Cluster.CPUPerNode
+	}
+	for n, u := range util {
+		if u > 1 {
+			util[n] = 1
+		}
+	}
+	return util
+}
+
+// resolveOverloads relieves nodes whose actual demand exceeds physical
+// capacity by force-migrating their hungriest movable jobs to the
+// least-loaded powered node with both reservation room (under over-commit)
+// and actual room. Jobs that fit nowhere stay put and the node throttles.
+// Returns the forced-migration energy.
+func (s *Simulator) resolveOverloads(t int) units.Energy {
+	capCPU := s.cfg.Cluster.CPUPerNode
+	nodes := s.cfg.Cluster.Nodes
+	actual := make([]float64, nodes)
+	reservedCPU := make([]float64, nodes)
+	reservedRAM := make([]float64, nodes)
+	jobsByNode := make([][]*jobState, nodes)
+	for _, st := range s.running {
+		need := st.job.CPU * st.job.UtilAt(t)
+		actual[st.node] += need
+		reservedCPU[st.node] += st.job.CPU
+		reservedRAM[st.node] += st.job.RAMGB
+		jobsByNode[st.node] = append(jobsByNode[st.node], st)
+	}
+	var migE units.Energy
+	effCPU := capCPU * s.cfg.Overcommit
+	effRAM := s.cfg.Cluster.RAMPerNodeGB * s.cfg.Overcommit
+	for n := 0; n < nodes; n++ {
+		if actual[n] <= capCPU+1e-9 {
+			continue
+		}
+		s.sla.OverloadEvents++
+		// Hungriest jobs first; ID tiebreak keeps runs deterministic.
+		jobs := append([]*jobState(nil), jobsByNode[n]...)
+		sort.Slice(jobs, func(a, b int) bool {
+			da := jobs[a].job.CPU * jobs[a].job.UtilAt(t)
+			db := jobs[b].job.CPU * jobs[b].job.UtilAt(t)
+			if da != db {
+				return da > db
+			}
+			return jobs[a].job.ID < jobs[b].job.ID
+		})
+		for _, st := range jobs {
+			if actual[n] <= capCPU+1e-9 {
+				break
+			}
+			need := st.job.CPU * st.job.UtilAt(t)
+			best := -1
+			for m := 0; m < nodes; m++ {
+				if m == n || !s.cluster.Node(m).Powered {
+					continue
+				}
+				if reservedCPU[m]+st.job.CPU > effCPU+1e-9 || reservedRAM[m]+st.job.RAMGB > effRAM+1e-9 {
+					continue
+				}
+				if actual[m]+need > capCPU+1e-9 {
+					continue
+				}
+				if best < 0 || actual[m] < actual[best] {
+					best = m
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			actual[n] -= need
+			reservedCPU[n] -= st.job.CPU
+			reservedRAM[n] -= st.job.RAMGB
+			actual[best] += need
+			reservedCPU[best] += st.job.CPU
+			reservedRAM[best] += st.job.RAMGB
+			st.node = best
+			st.migrations++
+			s.sla.Migrations++
+			s.sla.OverloadMigrations++
+			migE += s.cfg.MigrationCostWh
+		}
+		if actual[n] > capCPU+1e-9 {
+			s.sla.ThrottledSlots++
+		}
+	}
+	return migE
+}
+
+// cpuUtilByNode computes per-node CPU utilization from running jobs,
+// clamped to 1 (over-commit can oversubscribe nominal capacity).
+func (s *Simulator) cpuUtilByNode() map[int]float64 {
+	util := make(map[int]float64)
+	for _, st := range s.running {
+		util[st.node] += st.job.CPU / s.cfg.Cluster.CPUPerNode
+	}
+	for n, u := range util {
+		if u > 1 {
+			util[n] = 1
+		}
+	}
+	return util
+}
+
+// checkConservation asserts the energy-flow identities; a violation is a
+// simulator bug and fails the run loudly.
+func (s *Simulator) checkConservation(res *Result) error {
+	tol := 1e-6 * (1 + float64(res.Energy.TotalLoad()))
+	if err := res.Energy.ConservationError(); err > tol {
+		return fmt.Errorf("core: energy conservation violated by %.6f Wh (policy %s)", err, res.Policy)
+	}
+	if err := s.bat.ConservationError(); err > tol {
+		return fmt.Errorf("core: battery conservation violated by %.6f Wh", err)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package cost is the economics layer of the GreenMatch evaluation: it
+// converts a simulation result into a weekly total cost of ownership
+// combining grid (brown) energy, battery wear (throughput cycle counting
+// against rated cycle life), and amortized photovoltaic capital — the
+// quantities the "optimal mixed configuration" experiment minimizes.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Config holds the unit prices and amortization horizons.
+type Config struct {
+	// BrownPerKWh is the grid tariff in dollars per kWh.
+	BrownPerKWh float64
+	// PVPerM2 is the installed photovoltaic capital cost per square metre.
+	PVPerM2 float64
+	// PVLifetimeWeeks amortizes the PV capital (25 years by default).
+	PVLifetimeWeeks float64
+}
+
+// DefaultConfig returns representative 2016-era prices: $0.12/kWh grid
+// energy, $400/m^2 installed PV, 25-year panel life.
+func DefaultConfig() Config {
+	return Config{
+		BrownPerKWh:     0.12,
+		PVPerM2:         400,
+		PVLifetimeWeeks: 25 * 52,
+	}
+}
+
+// Validate reports a descriptive error for non-positive prices.
+func (c Config) Validate() error {
+	if c.BrownPerKWh < 0 || c.PVPerM2 < 0 {
+		return fmt.Errorf("cost: negative prices")
+	}
+	if c.PVLifetimeWeeks <= 0 {
+		return fmt.Errorf("cost: non-positive PV lifetime %v", c.PVLifetimeWeeks)
+	}
+	return nil
+}
+
+// Breakdown is the weekly dollar cost of one configuration.
+type Breakdown struct {
+	// Brown is the grid energy bill.
+	Brown float64
+	// BatteryWear is the battery capital consumed by cycling this week.
+	BatteryWear float64
+	// PVAmortized is the weekly share of panel capital.
+	PVAmortized float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Brown + b.BatteryWear + b.PVAmortized }
+
+// Evaluate prices one simulation result. The battery spec must be the one
+// the run used; areaM2 is the installed panel area (0 if supply came from a
+// replayed trace whose capital is out of scope).
+func Evaluate(cfg Config, res *core.Result, spec battery.Spec, capacity units.Energy, areaM2 float64) (Breakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if res == nil {
+		return Breakdown{}, fmt.Errorf("cost: nil result")
+	}
+	b := Breakdown{
+		Brown:       res.Energy.Brown.KWh() * cfg.BrownPerKWh,
+		BatteryWear: res.BatteryWear * spec.PriceDollars(capacity),
+		PVAmortized: areaM2 * cfg.PVPerM2 / cfg.PVLifetimeWeeks,
+	}
+	return b, nil
+}

@@ -1,0 +1,85 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Config{
+		{BrownPerKWh: -1, PVPerM2: 1, PVLifetimeWeeks: 1},
+		{BrownPerKWh: 1, PVPerM2: -1, PVLifetimeWeeks: 1},
+		{BrownPerKWh: 1, PVPerM2: 1, PVLifetimeWeeks: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	res := &core.Result{
+		Energy:      metrics.EnergyAccount{Brown: 100 * units.KilowattHour},
+		BatteryWear: 0.001, // one thousandth of the battery's life
+	}
+	spec := battery.MustSpec(battery.LithiumIon)
+	cfg := Config{BrownPerKWh: 0.10, PVPerM2: 400, PVLifetimeWeeks: 1000}
+	b, err := Evaluate(cfg, res, spec, 90*units.KilowattHour, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Brown-10) > 1e-9 {
+		t.Errorf("brown cost %v, want 10", b.Brown)
+	}
+	// 90 kWh LI = $47,250; 0.001 wear = $47.25.
+	if math.Abs(b.BatteryWear-47.25) > 1e-9 {
+		t.Errorf("wear cost %v, want 47.25", b.BatteryWear)
+	}
+	// 100 m2 * $400 / 1000 weeks = $40/week.
+	if math.Abs(b.PVAmortized-40) > 1e-9 {
+		t.Errorf("pv cost %v, want 40", b.PVAmortized)
+	}
+	if math.Abs(b.Total()-(10+47.25+40)) > 1e-9 {
+		t.Errorf("total %v", b.Total())
+	}
+}
+
+func TestEvaluateNilResult(t *testing.T) {
+	if _, err := Evaluate(DefaultConfig(), nil, battery.MustSpec(battery.LithiumIon), 0, 0); err == nil {
+		t.Fatal("nil result should error")
+	}
+}
+
+func TestEvaluateBadConfig(t *testing.T) {
+	res := &core.Result{}
+	bad := Config{BrownPerKWh: -1, PVPerM2: 1, PVLifetimeWeeks: 1}
+	if _, err := Evaluate(bad, res, battery.MustSpec(battery.LithiumIon), 0, 0); err == nil {
+		t.Fatal("bad config should error")
+	}
+}
+
+func TestZeroAreaZeroBatteryIsBrownOnly(t *testing.T) {
+	res := &core.Result{Energy: metrics.EnergyAccount{Brown: 50 * units.KilowattHour}}
+	b, err := Evaluate(DefaultConfig(), res, battery.MustSpec(battery.LeadAcid), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BatteryWear != 0 || b.PVAmortized != 0 {
+		t.Errorf("unexpected capital costs: %+v", b)
+	}
+	if math.Abs(b.Brown-6) > 1e-9 { // 50 kWh * 0.12
+		t.Errorf("brown %v, want 6", b.Brown)
+	}
+}

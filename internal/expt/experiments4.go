@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Table VII — failure resilience: node crashes, repair traffic and green scheduling",
+		Kind:  "table",
+		Run:   runE14,
+	})
+}
+
+// runE14 stresses the massive-storage failure path: node crashes evict
+// jobs, degrade replica redundancy (PartialCover keeps what is coverable),
+// and synthesize I/O-bound Repair jobs with tight deadlines that compete
+// with the green schedule. The table sweeps the failure rate for Baseline
+// and GreenMatch; the shape claims are that (a) both policies absorb
+// moderate failure rates with near-zero misses, and (b) GreenMatch's brown
+// advantage survives the repair traffic.
+func runE14(p Params) ([]*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "E14: failure resilience (40 kWh LI ESD, reference solar)",
+		Headers: []string{"mtbf_h", "policy", "failures", "evictions", "repair_jobs",
+			"brown_kwh", "misses", "unserved_reads"},
+	}
+	for _, mtbf := range []float64{0, 2000, 500} {
+		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
+			cfg := baseScenario(p)
+			cfg.Green = greenFor(p, ReferenceAreaM2)
+			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+			cfg.Policy = pol
+			cfg.FailureMTBFHours = mtbf
+			res, err := runOrErr("E14", cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(mtbf, pol.Name(),
+				res.SLA.NodeFailures, res.SLA.Evictions, res.SLA.RepairJobsGenerated,
+				res.Energy.Brown.KWh(), res.SLA.DeadlineMisses, res.SLA.UnservedReads)
+		}
+	}
+	return []*metrics.Table{t}, nil
+}

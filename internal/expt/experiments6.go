@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"repro/internal/carbon"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "Table IX — carbon footprint under flat vs diurnal grid intensity",
+		Kind:  "table",
+		Run:   runE16,
+	})
+}
+
+// runE16 converts each policy's brown draw into CO2 under two grid models:
+// a flat 300 g/kWh grid and a fossil-marginal diurnal grid peaking in the
+// evening. The shape claim: scheduling work into the solar window avoids
+// exactly the hours the diurnal grid is dirtiest, so GreenMatch's carbon
+// advantage exceeds its energy advantage.
+func runE16(p Params) ([]*metrics.Table, error) {
+	flat := carbon.Flat{GramsPerKWh: 300}
+	diurnal := carbon.DefaultDiurnal()
+	t := &metrics.Table{
+		Title: "E16: weekly carbon footprint (40 kWh LI ESD, reference solar)",
+		Headers: []string{"policy", "brown_kwh", "co2_flat_kg", "co2_diurnal_kg",
+			"diurnal_vs_flat_ratio"},
+	}
+	for _, pol := range []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.DeferFraction{Fraction: 1}, sched.GreenMatch{}} {
+		cfg := baseScenario(p)
+		cfg.Green = greenFor(p, ReferenceAreaM2)
+		cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+		cfg.Policy = pol
+		cfg.RecordSeries = true
+		res, err := runOrErr("E16", cfg)
+		if err != nil {
+			return nil, err
+		}
+		flatKg, err := carbon.Footprint(res.Series, flat)
+		if err != nil {
+			return nil, err
+		}
+		diuKg, err := carbon.Footprint(res.Series, diurnal)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if flatKg > 0 {
+			ratio = diuKg / flatKg
+		}
+		t.AddRow(pol.Name(), res.Energy.Brown.KWh(), flatKg, diuKg, ratio)
+	}
+	return []*metrics.Table{t}, nil
+}

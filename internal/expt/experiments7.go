@@ -1,0 +1,108 @@
+package expt
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/solar"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E17",
+		Title: "Table X — DVFS power-model ablation: linear vs superlinear dynamic power",
+		Kind:  "table",
+		Run:   runE17,
+	})
+	register(Experiment{
+		ID:    "E18",
+		Title: "Table XI — seasonal sensitivity: sunlight profiles and day length",
+		Kind:  "table",
+		Run:   runE18,
+	})
+}
+
+// runE17 reruns the policy comparison under a DVFS-governed server power
+// curve (dynamic term ~ u^1.7 instead of linear). Superlinear dynamic power
+// makes partial load cheaper, which shrinks the value of consolidation —
+// the savings attributable to the scheduler must be robust to the power
+// model, not an artifact of linearity.
+func runE17(p Params) ([]*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:   "E17: DVFS power-model ablation (40 kWh LI ESD, reference solar)",
+		Headers: []string{"dvfs_alpha", "policy", "demand_kwh", "brown_kwh", "gm_saving_vs_baseline_%"},
+	}
+	for _, alpha := range []float64{1.0, 1.7} {
+		var baselineBrown units.Energy
+		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
+			cfg := baseScenario(p)
+			cfg.Green = greenFor(p, ReferenceAreaM2)
+			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+			cfg.Cluster.NodeProfile.Server = cfg.Cluster.NodeProfile.Server.WithDVFS(alpha)
+			cfg.Policy = pol
+			res, err := runOrErr("E17", cfg)
+			if err != nil {
+				return nil, err
+			}
+			saving := 0.0
+			if pol.Name() == "baseline" {
+				baselineBrown = res.Energy.Brown
+			} else if baselineBrown > 0 {
+				saving = 100 * (1 - float64(res.Energy.Brown)/float64(baselineBrown))
+			}
+			t.AddRow(alpha, pol.Name(), res.Energy.Demand.KWh(), res.Energy.Brown.KWh(), saving)
+		}
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// runE18 sweeps the sunlight regime: the midsummer sunny reference, a
+// mixed and an overcast summer, and a midwinter week (short days, weak
+// sun). The scheduler's absolute savings shrink with the harvest, but its
+// relative advantage over ESD-only must persist in every season.
+func runE18(p Params) ([]*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "E18: seasonal sensitivity (40 kWh LI ESD, 165.6 m2-class PV)",
+		Headers: []string{"season", "produced_kwh", "baseline_brown_kwh",
+			"greenmatch_brown_kwh", "gm_saving_%"},
+	}
+	seasons := []struct {
+		name    string
+		day     int
+		profile solar.Profile
+	}{
+		{"summer-sunny", 173, solar.ProfileSunny},
+		{"summer-mixed", 173, solar.ProfileMixed},
+		{"summer-overcast", 173, solar.ProfileOvercast},
+		{"winter", 355, solar.ProfileWinter},
+	}
+	for _, season := range seasons {
+		scfg := solar.DefaultFarm(ReferenceAreaM2 * p.scale())
+		scfg.StartDayOfYear = season.day
+		scfg.Profile = season.profile
+		scfg.Slots = 24 * 21
+		scfg.Seed = p.seed()
+		green, err := solar.Generate(scfg)
+		if err != nil {
+			return nil, err
+		}
+		var browns []units.Energy
+		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
+			cfg := baseScenario(p)
+			cfg.Green = green
+			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+			cfg.Policy = pol
+			res, err := runOrErr("E18", cfg)
+			if err != nil {
+				return nil, err
+			}
+			browns = append(browns, res.Energy.Brown)
+		}
+		saving := 0.0
+		if browns[0] > 0 {
+			saving = 100 * (1 - float64(browns[1])/float64(browns[0]))
+		}
+		t.AddRow(season.name, green.TotalEnergy(1).KWh(), browns[0].KWh(), browns[1].KWh(), saving)
+	}
+	return []*metrics.Table{t}, nil
+}

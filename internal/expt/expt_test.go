@@ -1,0 +1,610 @@
+package expt
+
+import (
+	"strconv"
+	"testing"
+)
+
+// small returns the fast test scale.
+func small() Params { return Params{Scale: 0.2} }
+
+// parse reads a numeric cell.
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || (e.Kind != "figure" && e.Kind != "table") {
+			t.Errorf("%s metadata incomplete: %+v", e.ID, e)
+		}
+		if e.Run == nil {
+			t.Errorf("%s has no runner", e.ID)
+		}
+	}
+	if _, ok := ByID("E3"); !ok {
+		t.Error("ByID(E3) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) should fail")
+	}
+}
+
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(small())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if err := tb.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q empty", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestE2BrownDecreasesWithArea(t *testing.T) {
+	tables, err := ByIDMust("E2").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	first := parse(t, rows[0][2]) // baseline steady brown at area 0
+	last := parse(t, rows[len(rows)-1][2])
+	if !(last < first) {
+		t.Fatalf("steady brown did not decrease with area: %v -> %v", first, last)
+	}
+	// Monotone non-increasing within tolerance, for both policies.
+	for _, col := range []int{2, 3} {
+		prev := parse(t, rows[0][col])
+		for i, r := range rows {
+			v := parse(t, r[col])
+			if v > prev*1.02+1 {
+				t.Fatalf("row %d col %d: steady brown increased: %v -> %v", i, col, prev, v)
+			}
+			prev = v
+		}
+	}
+	// Break-evens found, and GreenMatch's is no larger than baseline's.
+	beBase := parse(t, tables[1].Rows[0][1])
+	beGM := parse(t, tables[1].Rows[1][1])
+	if beBase <= 0 || beGM <= 0 {
+		t.Fatalf("break-even areas not found: baseline=%v greenmatch=%v", beBase, beGM)
+	}
+	if beGM > beBase {
+		t.Fatalf("greenmatch break-even area %v exceeds baseline %v", beGM, beBase)
+	}
+}
+
+func TestE3GreenMatchNeedsSmallerBattery(t *testing.T) {
+	tables, err := ByIDMust("E3").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := tables[1]
+	zeroBase := parse(t, summary.Rows[0][1])
+	zeroGM := parse(t, summary.Rows[1][1])
+	if zeroBase <= 0 || zeroGM <= 0 {
+		t.Fatalf("zero-brown capacities not reached: baseline=%v greenmatch=%v", zeroBase, zeroGM)
+	}
+	if zeroGM > zeroBase {
+		t.Fatalf("greenmatch needed a LARGER battery (%v) than baseline (%v)", zeroGM, zeroBase)
+	}
+	// At zero capacity, greenmatch must already beat baseline on brown.
+	first := tables[0].Rows[0]
+	if parse(t, first[2]) >= parse(t, first[1]) {
+		t.Fatalf("at no battery, greenmatch brown %v not below baseline %v", first[2], first[1])
+	}
+}
+
+func TestE4DeferralWinsAtSmallBatteries(t *testing.T) {
+	tables, err := ByIDMust("E4").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Row 0 is battery=0: full deferral (last column) must beat baseline.
+	base0 := parse(t, rows[0][1])
+	full0 := parse(t, rows[0][len(rows[0])-1])
+	if full0 >= base0 {
+		t.Fatalf("no battery: defer100%% brown %v not below baseline %v", full0, base0)
+	}
+}
+
+func TestE5LossesShrinkWithBattery(t *testing.T) {
+	tables, err := ByIDMust("E5").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	firstBase := parse(t, rows[0][1])
+	lastBase := parse(t, rows[len(rows)-1][1])
+	if lastBase >= firstBase {
+		t.Fatalf("baseline green losses did not shrink with battery: %v -> %v", firstBase, lastBase)
+	}
+	// GreenMatch loses no more than its like-for-like reference SpinDown
+	// at zero battery: deferral moves demand into the surplus window.
+	// (Baseline can "lose" less simply by soaking surplus into idle
+	// hardware, so it is not the right comparator here.)
+	if parse(t, rows[0][3]) > parse(t, rows[0][2]) {
+		t.Fatalf("greenmatch losses %v exceed spindown %v at no battery", rows[0][3], rows[0][2])
+	}
+}
+
+func TestE7ChemistryOrdering(t *testing.T) {
+	tables, err := ByIDMust("E7").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if rows[0][0] != "lead-acid" || rows[1][0] != "lithium-ion" {
+		t.Fatalf("unexpected row order: %v", rows)
+	}
+	laLoss := parse(t, rows[0][2])
+	liLoss := parse(t, rows[1][2])
+	if laLoss <= liLoss {
+		t.Fatalf("LA battery loss %v should exceed LI %v", laLoss, liLoss)
+	}
+	laVol := parse(t, rows[0][4])
+	liVol := parse(t, rows[1][4])
+	if laVol <= liVol {
+		t.Fatalf("LA volume %v should exceed LI %v", laVol, liVol)
+	}
+	laPrice := parse(t, rows[0][5])
+	liPrice := parse(t, rows[1][5])
+	if laPrice >= liPrice {
+		t.Fatalf("LA price %v should be below LI %v", laPrice, liPrice)
+	}
+}
+
+func TestE8GreenMatchWinsOnBrown(t *testing.T) {
+	tables, err := ByIDMust("E8").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string][]string{}
+	for _, r := range tables[0].Rows {
+		byPolicy[r[0]] = r
+	}
+	base := parse(t, byPolicy["baseline"][1])
+	gm := parse(t, byPolicy["greenmatch"][1])
+	if gm >= base {
+		t.Fatalf("greenmatch brown %v not below baseline %v", gm, base)
+	}
+	// Baseline never misses, migrates or suspends.
+	if parse(t, byPolicy["baseline"][4]) != 0 || parse(t, byPolicy["baseline"][6]) != 0 {
+		t.Fatalf("baseline row inconsistent: %v", byPolicy["baseline"])
+	}
+	// No policy misses deadlines at this load.
+	for name, row := range byPolicy {
+		if parse(t, row[4]) != 0 {
+			t.Errorf("%s missed deadlines: %v", name, row)
+		}
+	}
+}
+
+func TestE9OptimalSlowerThanGreedyAndGroupedFast(t *testing.T) {
+	tables, err := ByIDMust("E9").Run(Params{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	greedy := parse(t, last[1])
+	hung := parse(t, last[2])
+	grouped := parse(t, last[4])
+	if hung < greedy {
+		t.Errorf("hungarian (%v us) unexpectedly faster than greedy (%v us) at the largest size", hung, greedy)
+	}
+	if grouped > hung {
+		t.Errorf("grouped flow (%v us) slower than hungarian (%v us)", grouped, hung)
+	}
+}
+
+func TestE10PerfectForecastWins(t *testing.T) {
+	tables, err := ByIDMust("E10").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	var perfect, worst float64
+	for _, r := range rows {
+		v := parse(t, r[3])
+		if r[0] == "perfect" {
+			perfect = v
+		}
+		if v > worst {
+			worst = v
+		}
+		if parse(t, r[1]) < 0 {
+			t.Fatalf("negative MAE in %v", r)
+		}
+	}
+	if perfect > worst {
+		t.Fatalf("perfect forecast brown %v exceeds worst %v", perfect, worst)
+	}
+}
+
+func TestE11CoverageGrowsWithReplication(t *testing.T) {
+	tables, err := ByIDMust("E11").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// r=1 pins every disk holding data; min cover should shrink as r grows
+	// (more placement freedom), and unserved reads must always be zero.
+	for _, r := range rows {
+		if parse(t, r[6]) != 0 {
+			t.Fatalf("unserved reads with r=%s: %v", r[0], r)
+		}
+	}
+	coverR1 := parse(t, rows[0][1])
+	coverR3 := parse(t, rows[2][1])
+	if coverR3 > coverR1 {
+		t.Fatalf("min cover grew with replication: r1=%v r3=%v", coverR1, coverR3)
+	}
+}
+
+func TestE12WindProfileDiffersFromSolar(t *testing.T) {
+	tables, err := ByIDMust("E12").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 sources, got %v", rows)
+	}
+	// Equal-energy check: produced within 2%.
+	solarE := parse(t, rows[0][1])
+	windE := parse(t, rows[1][1])
+	if windE < solarE*0.98 || windE > solarE*1.02 {
+		t.Fatalf("wind energy %v not matched to solar %v", windE, solarE)
+	}
+	for _, r := range rows {
+		if parse(t, r[3]) > parse(t, r[2]) {
+			t.Errorf("source %s: greenmatch brown %v exceeds baseline %v", r[0], r[3], r[2])
+		}
+	}
+}
+
+// ByIDMust fetches a registered experiment or fails the caller's test via
+// panic (test-only helper).
+func ByIDMust(id string) Experiment {
+	e, ok := ByID(id)
+	if !ok {
+		panic("unknown experiment " + id)
+	}
+	return e
+}
+
+func TestE13OptimalMixedConfiguration(t *testing.T) {
+	tables, err := ByIDMust("E13").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, summary := tables[0], tables[1]
+	if len(grid.Rows) != 5*5 { // 5 capacities x 5 fractions
+		t.Fatalf("grid has %d rows, want 25", len(grid.Rows))
+	}
+	// Costs must be positive and self-consistent (cells are rendered with
+	// 4 significant digits, so allow ~1% rounding slack).
+	for _, r := range grid.Rows {
+		total := parse(t, r[7])
+		sum := parse(t, r[4]) + parse(t, r[5]) + parse(t, r[6])
+		tol := 0.01*sum + 0.01
+		if total < 0 || sum < 0 || total > sum+tol || total < sum-tol {
+			t.Fatalf("cost breakdown inconsistent: %v", r)
+		}
+	}
+	// A positive brown saving vs ESD-only must exist somewhere in the grid
+	// (the genre claims up to ~33%).
+	var saving float64
+	for _, r := range summary.Rows {
+		if r[0] == "max brown saving vs ESD-only at equal battery (%)" {
+			saving = parse(t, r[1])
+		}
+	}
+	if saving <= 0 {
+		t.Fatalf("no mixed configuration saved brown energy vs ESD-only (saving=%v)", saving)
+	}
+}
+
+func TestE14FailureResilience(t *testing.T) {
+	tables, err := ByIDMust("E14").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	// MTBF 0 rows must show zero failures; the aggressive rows should show
+	// failures and repair traffic.
+	for _, r := range rows {
+		mtbf := parse(t, r[0])
+		failures := parse(t, r[2])
+		if mtbf == 0 && failures != 0 {
+			t.Fatalf("failures without injection: %v", r)
+		}
+		if mtbf == 500 && failures == 0 {
+			t.Fatalf("aggressive MTBF produced no failures: %v", r)
+		}
+	}
+	// GreenMatch keeps its brown advantage under the moderate failure rate.
+	var base2000, gm2000 float64
+	for _, r := range rows {
+		if r[0] == "2000" && r[1] == "baseline" {
+			base2000 = parse(t, r[5])
+		}
+		if r[0] == "2000" && r[1] == "greenmatch" {
+			gm2000 = parse(t, r[5])
+		}
+	}
+	if gm2000 >= base2000 {
+		t.Fatalf("greenmatch brown %v not below baseline %v under failures", gm2000, base2000)
+	}
+}
+
+func TestE15ServiceQuality(t *testing.T) {
+	tables, err := ByIDMust("E15").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	byPolicy := map[string][]string{}
+	for _, r := range rows {
+		byPolicy[r[0]] = r
+	}
+	// Availability must hold for every policy.
+	for name, r := range byPolicy {
+		if parse(t, r[3]) != 0 {
+			t.Errorf("%s served reads unavailably: %v", name, r)
+		}
+	}
+	// Baseline keeps disks spinning: no cold reads, flat latency.
+	if parse(t, byPolicy["baseline"][2]) != 0 {
+		t.Errorf("baseline produced cold reads: %v", byPolicy["baseline"])
+	}
+	// Spin-down pays a latency tail when it parks disks.
+	if parse(t, byPolicy["spindown"][2]) > 0 &&
+		parse(t, byPolicy["spindown"][6]) <= parse(t, byPolicy["baseline"][6]) {
+		t.Errorf("spindown max latency should exceed baseline: %v vs %v",
+			byPolicy["spindown"][6], byPolicy["baseline"][6])
+	}
+}
+
+func TestE16CarbonFootprint(t *testing.T) {
+	tables, err := ByIDMust("E16").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string][]string{}
+	for _, r := range tables[0].Rows {
+		byPolicy[r[0]] = r
+	}
+	base := byPolicy["baseline"]
+	gm := byPolicy["greenmatch"]
+	if parse(t, gm[2]) >= parse(t, base[2]) {
+		t.Fatalf("greenmatch flat CO2 %v not below baseline %v", gm[2], base[2])
+	}
+	if parse(t, gm[3]) >= parse(t, base[3]) {
+		t.Fatalf("greenmatch diurnal CO2 %v not below baseline %v", gm[3], base[3])
+	}
+	// All footprints positive and flat footprint consistent with brown kWh
+	// at 300 g/kWh (within table rounding).
+	for name, r := range byPolicy {
+		brown := parse(t, r[1])
+		flatKg := parse(t, r[2])
+		want := brown * 0.3
+		if flatKg < want*0.98 || flatKg > want*1.02 {
+			t.Errorf("%s flat CO2 %v inconsistent with brown %v kWh", name, flatKg, brown)
+		}
+	}
+}
+
+func TestE17DVFSAblation(t *testing.T) {
+	tables, err := ByIDMust("E17").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	// Superlinear dynamic power reduces demand (partial load is cheaper).
+	var demandLin, demandDVFS float64
+	var savingLin, savingDVFS float64
+	for _, r := range rows {
+		if r[1] == "baseline" {
+			if r[0] == "1" {
+				demandLin = parse(t, r[2])
+			} else {
+				demandDVFS = parse(t, r[2])
+			}
+		}
+		if r[1] == "greenmatch" {
+			if r[0] == "1" {
+				savingLin = parse(t, r[4])
+			} else {
+				savingDVFS = parse(t, r[4])
+			}
+		}
+	}
+	if demandDVFS >= demandLin {
+		t.Fatalf("DVFS demand %v not below linear %v", demandDVFS, demandLin)
+	}
+	// The scheduler's saving must survive the power-model change.
+	if savingLin <= 0 || savingDVFS <= 0 {
+		t.Fatalf("greenmatch saving vanished: linear=%v dvfs=%v", savingLin, savingDVFS)
+	}
+}
+
+func TestE18SeasonalSensitivity(t *testing.T) {
+	tables, err := ByIDMust("E18").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("want 4 seasons, got %d", len(rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range rows {
+		byName[r[0]] = r
+	}
+	// Winter produces far less than sunny summer.
+	if parse(t, byName["winter"][1]) >= parse(t, byName["summer-sunny"][1])/2 {
+		t.Fatalf("winter production %v not well below summer %v",
+			byName["winter"][1], byName["summer-sunny"][1])
+	}
+	// GreenMatch clearly wins when there is sun to schedule into, and must
+	// degrade gracefully (within a small wash) when there is almost none.
+	for _, name := range []string{"summer-sunny", "summer-mixed"} {
+		if parse(t, byName[name][4]) <= 0 {
+			t.Errorf("%s: greenmatch saving %v not positive", name, byName[name][4])
+		}
+	}
+	for _, name := range []string{"summer-overcast", "winter"} {
+		if parse(t, byName[name][4]) < -3 {
+			t.Errorf("%s: greenmatch degrades badly (%v%%); graceful-degradation guard broken",
+				name, byName[name][4])
+		}
+	}
+	// Winter brown exceeds summer brown for both policies.
+	if parse(t, byName["winter"][2]) <= parse(t, byName["summer-sunny"][2]) {
+		t.Error("winter baseline brown should exceed summer")
+	}
+}
+
+func TestE19BatteryAwareAblation(t *testing.T) {
+	tables, err := ByIDMust("E19").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Row pairs: (plain, aware) per battery size.
+	if len(rows)%2 != 0 {
+		t.Fatalf("odd row count %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		plain, aware := rows[i], rows[i+1]
+		if plain[0] != aware[0] {
+			t.Fatalf("row pairing broken: %v vs %v", plain, aware)
+		}
+		capKWh := parse(t, plain[0])
+		if capKWh == 0 {
+			// Without a battery the variants must coincide exactly.
+			for c := 2; c < len(plain); c++ {
+				if plain[c] != aware[c] {
+					t.Fatalf("no-battery divergence in col %d: %v vs %v", c, plain, aware)
+				}
+			}
+			continue
+		}
+		// With a meaningful battery the aware variant stops suspending…
+		if parse(t, aware[3]) != 0 {
+			t.Errorf("cap %v: aware variant still suspends (%v)", capKWh, aware[3])
+		}
+		if parse(t, plain[3]) == 0 {
+			t.Errorf("cap %v: plain variant should suspend", capKWh)
+		}
+		// …and pays for it: the ablation's finding is that suspensions earn
+		// their cost, so no-churn brown must not be *better* by more than
+		// noise, and should typically be worse.
+		pb, ab := parse(t, plain[2]), parse(t, aware[2])
+		if ab < pb*0.98-0.5 {
+			t.Errorf("cap %v: aware brown %v unexpectedly beats plain %v — the suspension mechanism looks useless", capKWh, ab, pb)
+		}
+	}
+}
+
+func TestE20OvercommitSweep(t *testing.T) {
+	tables, err := ByIDMust("E20").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("want 5 over-commit points, got %d", len(rows))
+	}
+	// The curve the genre derives its "safe over-commit" from:
+	// oc=1.0 starves the cluster (deadline misses), the mid-range is
+	// clean, and aggressive over-commit trades misses for overload churn.
+	missesAt1 := parse(t, rows[0][7])
+	missesAt15 := parse(t, rows[2][7])
+	if missesAt1 <= missesAt15 {
+		t.Errorf("over-commit should relieve capacity misses: oc=1 misses %v vs oc=1.5 %v",
+			missesAt1, missesAt15)
+	}
+	forced15 := parse(t, rows[2][5])
+	forced20 := parse(t, rows[4][5])
+	if forced20 <= forced15 {
+		t.Errorf("aggressive over-commit should force more migrations: oc=1.5 %v vs oc=2.0 %v",
+			forced15, forced20)
+	}
+	// Denser packing powers fewer node-hours at 1.5 than at 1.0.
+	if parse(t, rows[2][3]) > parse(t, rows[0][3]) {
+		t.Errorf("node-hours rose with over-commit: %v -> %v", rows[0][3], rows[2][3])
+	}
+}
+
+func TestE21TieredStorage(t *testing.T) {
+	tables, err := ByIDMust("E21").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	get := func(layout, policy string) []string {
+		for _, r := range rows {
+			if r[0] == layout && r[1] == policy {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", layout, policy)
+		return nil
+	}
+	// Tiering reduces demand for the same policy, at intact availability.
+	for _, pol := range []string{"baseline", "greenmatch"} {
+		homo := get("homogeneous", pol)
+		tier := get("tiered", pol)
+		if parse(t, tier[2]) >= parse(t, homo[2]) {
+			t.Errorf("%s: tiered demand %v not below homogeneous %v", pol, tier[2], homo[2])
+		}
+		if parse(t, tier[6]) != 0 {
+			t.Errorf("%s: tiered layout has unserved reads: %v", pol, tier)
+		}
+	}
+	// GreenMatch still beats baseline on the tiered layout.
+	if parse(t, get("tiered", "greenmatch")[3]) >= parse(t, get("tiered", "baseline")[3]) {
+		t.Error("greenmatch lost its advantage on the tiered layout")
+	}
+}

@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestE8Golden pins the E8 policy table at 0.2 scale, seed 1, against a
+// committed golden file. This catches accidental nondeterminism (map
+// iteration leaking into decisions) and unintended behavioural drift
+// across refactors. After an intentional simulator change, regenerate
+// with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/expt -run TestE8Golden
+func TestE8Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison in -short mode")
+	}
+	tables, err := ByIDMust("E8").Run(Params{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		if err := tb.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "e8_scale02.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("E8 output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestE14Golden pins the failure-injection table the same way: the crash /
+// eviction / repair machinery is the most state-heavy path in the
+// simulator and the most likely to pick up accidental nondeterminism.
+func TestE14Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison in -short mode")
+	}
+	tables, err := ByIDMust("E14").Run(Params{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		if err := tb.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "e14_scale02.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("E14 output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,193 @@
+// Package expt is the GreenMatch experiment harness: it defines every
+// figure and table of the reconstructed evaluation (see DESIGN.md §3),
+// parameterized scenario builders, and a registry the CLI and the benchmark
+// suite both drive.
+//
+// Every experiment is deterministic: same Params, same rows.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/solar"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Params scales an experiment. Scale 1.0 is the paper-scale reference
+// scenario (30 nodes, the full reference week); smaller scales shrink the
+// cluster, trace, panel areas and battery grids proportionally, preserving
+// the qualitative shapes while running much faster.
+type Params struct {
+	// Scale is the proportional scenario size (default 1.0).
+	Scale float64
+	// Seed offsets the stochastic components (default 1).
+	Seed int64
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+func (p Params) seed() int64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+// Experiment is one reproducible artifact of the evaluation.
+type Experiment struct {
+	// ID is the registry key ("E1".."E21").
+	ID string
+	// Title names the paper artifact the experiment reconstructs.
+	Title string
+	// Kind is "figure" or "table".
+	Kind string
+	// Run executes the experiment and returns its tables (a figure is a
+	// long-form table of its series).
+	Run func(p Params) ([]*metrics.Table, error)
+}
+
+// registry holds the experiments; All sorts by numeric ID so registration
+// order (Go initializes package files in file-name order) cannot leak into
+// the public ordering.
+var registry []Experiment
+
+// All returns every experiment in numeric ID order (E1, E2, ..., E10, ...).
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool {
+		return experimentNumber(out[i].ID) < experimentNumber(out[j].ID)
+	})
+	return out
+}
+
+// experimentNumber extracts the numeric part of an "E<N>" id (0 on parse
+// failure, which sorts malformed ids first and loudly).
+func experimentNumber(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "E"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// ReferenceAreaM2 is the paper-scale PV area used by the supply/demand
+// figure (E1), chosen near the steady-state break-even E2 computes.
+const ReferenceAreaM2 = 165.6
+
+// IdealAreaM2 is the paper-scale "sized" PV area used by the
+// battery-sizing experiments: comfortably above E2's break-even so the
+// battery, not the panels, is the binding resource.
+const IdealAreaM2 = 250.0
+
+// ScarceAreaM2 is 60% of the ideal area: the regime where solar cannot
+// cover the workload and the scheduling-vs-storage trade-off is sharpest.
+const ScarceAreaM2 = 150.0
+
+// baseScenario builds the reference configuration at the given scale.
+func baseScenario(p Params) core.Config {
+	s := p.scale()
+	cl := storage.DefaultConfig()
+	cl.Nodes = maxi(4, int(math.Round(30*s)))
+	cl.Objects = maxi(100, int(math.Round(3000*s)))
+	gen := workload.Scaled(s)
+	gen.Seed = p.seed()
+	cfg := core.DefaultConfig()
+	cfg.Cluster = cl
+	cfg.Trace = workload.MustGenerate(gen)
+	cfg.ReadsPerSlot = 200 * s
+	cfg.Seed = p.seed()
+	return cfg
+}
+
+// greenFor returns the extended solar trace for a paper-scale area, scaled.
+func greenFor(p Params, paperScaleArea float64) solar.Series {
+	return core.DefaultGreen(paperScaleArea * p.scale())
+}
+
+// steadyBrown sums brown energy after the first-day warm-up (the battery
+// starts empty, so the first pre-dawn hours are unavoidably brown in every
+// configuration; the sizing claims of the genre are about steady state).
+func steadyBrown(res *core.Result) units.Energy {
+	if res.Series == nil {
+		return res.Energy.Brown
+	}
+	var e units.Energy
+	for _, s := range res.Series.Samples {
+		if s.Slot >= 24 {
+			e += units.Energy(s.BrownW) // 1-hour slots: W == Wh
+		}
+	}
+	return e
+}
+
+// steadyLost sums green energy lost in the fixed window [24, 168): the
+// arrival week after warm-up. A fixed window is essential for fairness —
+// policies that defer work run (and therefore meter production) for more
+// slots, and sunlight falling after another policy's run already ended
+// must not be charged against them.
+func steadyLost(res *core.Result) units.Energy {
+	if res.Series == nil {
+		return res.Energy.GreenLost
+	}
+	var e units.Energy
+	for _, s := range res.Series.Samples {
+		if s.Slot >= 24 && s.Slot < 168 {
+			e += units.Energy(s.GreenLostW) // 1-hour slots: W == Wh
+		}
+	}
+	return e
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// kwhGrid builds a battery-capacity grid in Wh: 0..maxKWh step stepKWh,
+// scaled.
+func kwhGrid(p Params, maxKWh, stepKWh float64) []units.Energy {
+	var out []units.Energy
+	for v := 0.0; v <= maxKWh+1e-9; v += stepKWh {
+		out = append(out, units.Energy(v*1000*p.scale()))
+	}
+	return out
+}
+
+// runOrErr wraps core.Run with experiment-context errors.
+func runOrErr(id string, cfg core.Config) (*core.Result, error) {
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("expt %s: %w", id, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package forecast
+
+import (
+	"repro/internal/solar"
+	"repro/internal/units"
+)
+
+// ClearSky is the physics-based forecaster: it computes the deterministic
+// clear-sky production curve of the installed farm from solar geometry and
+// scales it by the recently observed attenuation (actual / clear-sky over
+// the last day's daylight slots). It needs to know the farm's parameters —
+// which an operator always does — and unlike the purely statistical models
+// it predicts the *shape* of tomorrow exactly, leaving only the weather
+// factor to estimate.
+type ClearSky struct {
+	// Farm describes the installation the forecaster models.
+	Farm solar.FarmConfig
+	// Window is how many past slots the attenuation estimate averages
+	// over (default 24).
+	Window int
+}
+
+// Name implements Forecaster.
+func (ClearSky) Name() string { return "clearsky" }
+
+// clearSkyPower returns the farm's deterministic production for a slot.
+func (c ClearSky) clearSkyPower(slot int) units.Power {
+	hourOfSim := (float64(slot) + 0.5) * c.Farm.SlotHours
+	day := c.Farm.StartDayOfYear + int(hourOfSim)/24
+	for day > 365 {
+		day -= 365
+	}
+	hourOfDay := hourOfSim - 24*float64(int(hourOfSim)/24)
+	irr := solar.ClearSkyIrradiance(c.Farm.LatitudeDeg, day, hourOfDay)
+	return c.Farm.Panel.Output(irr)
+}
+
+// Predict implements Forecaster.
+func (c ClearSky) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	window := c.Window
+	if window <= 0 {
+		window = 24
+	}
+	// Estimate attenuation from observed daylight slots.
+	peak := c.Farm.Panel.PeakPower()
+	threshold := float64(peak) * 0.1
+	sumRatio, n := 0.0, 0
+	for s := now - window; s < now; s++ {
+		if s < 0 {
+			continue
+		}
+		cs := float64(c.clearSkyPower(s))
+		if cs < threshold {
+			continue
+		}
+		sumRatio += float64(actual.Power(s)) / cs
+		n++
+	}
+	att := 1.0 // optimistic before any daylight history
+	if n > 0 {
+		att = sumRatio / float64(n)
+		if att < 0 {
+			att = 0
+		}
+		if att > 1 {
+			att = 1
+		}
+	}
+	out := make([]units.Power, horizon)
+	for k := 0; k < horizon; k++ {
+		out[k] = units.Power(float64(c.clearSkyPower(now+k)) * att)
+	}
+	return out
+}

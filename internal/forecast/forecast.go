@@ -1,0 +1,199 @@
+// Package forecast provides the short-horizon renewable-production
+// forecasters GreenMatch plans against.
+//
+// The genre papers assume an error-free 1-slot-ahead prediction; this
+// package provides that Perfect oracle plus the realistic estimators used
+// for the forecast-ablation experiment (persistence, k-day moving average,
+// per-hour EWMA), all of which exploit the strong diurnal periodicity of
+// solar production by predicting each hour-of-day from the same hour on
+// previous days.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/solar"
+	"repro/internal/units"
+)
+
+// Forecaster predicts future supply from past observations. Implementations
+// must only consult actual.Power(s) for s < now — the simulator relies on
+// this causality to keep results honest — except Perfect, which is the
+// explicit oracle baseline.
+type Forecaster interface {
+	// Name identifies the forecaster in reports.
+	Name() string
+	// Predict returns estimated power for slots now..now+horizon-1.
+	Predict(actual solar.Provider, now, horizon int) []units.Power
+}
+
+// Perfect is the error-free oracle the genre papers assume.
+type Perfect struct{}
+
+// Name implements Forecaster.
+func (Perfect) Name() string { return "perfect" }
+
+// Predict implements Forecaster by reading the future directly.
+func (Perfect) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	out := make([]units.Power, horizon)
+	for k := 0; k < horizon; k++ {
+		out[k] = actual.Power(now + k)
+	}
+	return out
+}
+
+// Persistence predicts each future slot as the observation 24 hours (one
+// period) earlier. Slots with no history predict zero.
+type Persistence struct {
+	// Period is the seasonality in slots; 24 for hourly slots.
+	Period int
+}
+
+// Name implements Forecaster.
+func (p Persistence) Name() string { return "persistence" }
+
+// Predict implements Forecaster.
+func (p Persistence) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	period := p.Period
+	if period <= 0 {
+		period = 24
+	}
+	out := make([]units.Power, horizon)
+	for k := 0; k < horizon; k++ {
+		s := now + k - period
+		// Walk back whole periods until we reach observed history.
+		for s >= now {
+			s -= period
+		}
+		if s >= 0 {
+			out[k] = actual.Power(s)
+		}
+	}
+	return out
+}
+
+// MovingAverage predicts each future slot as the mean of the observations
+// at the same hour over the last Days periods.
+type MovingAverage struct {
+	// Period is the seasonality in slots (default 24).
+	Period int
+	// Days is the averaging window in periods (default 3).
+	Days int
+}
+
+// Name implements Forecaster.
+func (m MovingAverage) Name() string { return fmt.Sprintf("ma%d", m.days()) }
+
+func (m MovingAverage) days() int {
+	if m.Days <= 0 {
+		return 3
+	}
+	return m.Days
+}
+
+// Predict implements Forecaster.
+func (m MovingAverage) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	period := m.Period
+	if period <= 0 {
+		period = 24
+	}
+	out := make([]units.Power, horizon)
+	for k := 0; k < horizon; k++ {
+		var sum units.Power
+		n := 0
+		for d := 1; d <= m.days(); d++ {
+			s := now + k - d*period
+			if s >= 0 && s < now {
+				sum += actual.Power(s)
+				n++
+			}
+		}
+		if n > 0 {
+			out[k] = units.Power(float64(sum) / float64(n))
+		}
+	}
+	return out
+}
+
+// EWMA predicts each hour-of-day with an exponentially weighted moving
+// average over previous days, the estimator most production systems
+// actually deploy for diurnal signals.
+type EWMA struct {
+	// Period is the seasonality in slots (default 24).
+	Period int
+	// Alpha in (0,1] is the weight of the most recent day (default 0.5).
+	Alpha float64
+}
+
+// Name implements Forecaster.
+func (e EWMA) Name() string { return fmt.Sprintf("ewma%.2f", e.alpha()) }
+
+func (e EWMA) alpha() float64 {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return 0.5
+	}
+	return e.Alpha
+}
+
+// Predict implements Forecaster.
+func (e EWMA) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	period := e.Period
+	if period <= 0 {
+		period = 24
+	}
+	alpha := e.alpha()
+	out := make([]units.Power, horizon)
+	for k := 0; k < horizon; k++ {
+		// Fold history oldest-first so the newest day dominates.
+		var est units.Power
+		seen := false
+		for s := (now + k) % period; s < now; s += period {
+			if !seen {
+				est = actual.Power(s)
+				seen = true
+			} else {
+				est = units.Power((1-alpha)*float64(est) + alpha*float64(actual.Power(s)))
+			}
+		}
+		if seen {
+			out[k] = est
+		}
+	}
+	return out
+}
+
+// Errors summarizes forecast accuracy over a series.
+type Errors struct {
+	// MAE is the mean absolute error in watts.
+	MAE float64
+	// RMSE is the root-mean-square error in watts.
+	RMSE float64
+	// Bias is the mean signed error (predicted - actual) in watts.
+	Bias float64
+}
+
+// Evaluate runs the forecaster in simulation over the whole series with
+// 1-slot-ahead predictions and returns its error statistics. The first
+// warmup slots are excluded so history-less startup does not dominate.
+func Evaluate(f Forecaster, actual solar.Provider, warmup int) Errors {
+	n := actual.Slots()
+	var sumAbs, sumSq, sumSigned float64
+	count := 0
+	for s := warmup; s < n; s++ {
+		pred := f.Predict(actual, s, 1)[0]
+		err := float64(pred - actual.Power(s))
+		sumAbs += math.Abs(err)
+		sumSq += err * err
+		sumSigned += err
+		count++
+	}
+	if count == 0 {
+		return Errors{}
+	}
+	return Errors{
+		MAE:  sumAbs / float64(count),
+		RMSE: math.Sqrt(sumSq / float64(count)),
+		Bias: sumSigned / float64(count),
+	}
+}

@@ -1,0 +1,161 @@
+package match
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// flowEdge is one directed edge of the residual graph.
+type flowEdge struct {
+	to   int
+	cap  int
+	cost float64
+	flow int
+}
+
+// flowGraph is a min-cost max-flow network solved by successive shortest
+// paths with Johnson potentials (Dijkstra on reduced costs). All edge costs
+// must be non-negative, which the assignment reduction guarantees.
+type flowGraph struct {
+	n     int
+	edges []flowEdge
+	adj   [][]int // node -> indices into edges
+}
+
+func newFlowGraph(n int) *flowGraph {
+	return &flowGraph{n: n, adj: make([][]int, n)}
+}
+
+// addEdge inserts a forward edge and its residual twin, returning the
+// forward edge index.
+func (g *flowGraph) addEdge(from, to, capacity int, cost float64) int {
+	idx := len(g.edges)
+	g.edges = append(g.edges, flowEdge{to: to, cap: capacity, cost: cost})
+	g.adj[from] = append(g.adj[from], idx)
+	g.edges = append(g.edges, flowEdge{to: from, cap: 0, cost: -cost})
+	g.adj[to] = append(g.adj[to], idx+1)
+	return idx
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// minCostMaxFlow pushes as much flow as possible from s to t, minimizing
+// total cost among maximum flows. It returns (flow, cost).
+func (g *flowGraph) minCostMaxFlow(s, t int) (int, float64) {
+	potential := make([]float64, g.n)
+	dist := make([]float64, g.n)
+	prevEdge := make([]int, g.n)
+	totalFlow := 0
+	totalCost := 0.0
+	for {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		h := &pq{{node: s}}
+		for h.Len() > 0 {
+			it := heap.Pop(h).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, ei := range g.adj[it.node] {
+				e := g.edges[ei]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				nd := dist[it.node] + e.cost + potential[it.node] - potential[e.to]
+				if nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = ei
+					heap.Push(h, pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break
+		}
+		for i := range potential {
+			if !math.IsInf(dist[i], 1) {
+				potential[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		aug := math.MaxInt
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			e := g.edges[ei]
+			if r := e.cap - e.flow; r < aug {
+				aug = r
+			}
+			v = g.edges[ei^1].to
+		}
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			g.edges[ei].flow += aug
+			g.edges[ei^1].flow -= aug
+			totalCost += float64(aug) * g.edges[ei].cost
+			v = g.edges[ei^1].to
+		}
+		totalFlow += aug
+	}
+	return totalFlow, totalCost
+}
+
+// Flow solves the instance optimally with min-cost max-flow. Among
+// assignments that place the maximum number of jobs it maximizes total
+// weight. Runtime is O(F * E log V) with F the assigned-job count.
+func Flow(in Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n, m := in.Jobs(), in.Slots()
+	// Node layout: 0 = source, 1..n = jobs, n+1..n+m = slots, n+m+1 = sink.
+	src, sink := 0, n+m+1
+	g := newFlowGraph(n + m + 2)
+	// Edge cost W - w keeps all costs positive and makes min-cost flow
+	// equivalent to max-weight assignment among max flows.
+	bigW := in.maxWeight() + 1
+	jobSlotEdge := make(map[[2]int]int, n)
+	for j := 0; j < n; j++ {
+		g.addEdge(src, 1+j, 1, 0)
+		for s, w := range in.Weights[j] {
+			if w == Forbidden || in.Capacity[s] == 0 {
+				continue
+			}
+			jobSlotEdge[[2]int{j, s}] = g.addEdge(1+j, 1+n+s, 1, bigW-w)
+		}
+	}
+	for s := 0; s < m; s++ {
+		if in.Capacity[s] > 0 {
+			g.addEdge(1+n+s, sink, in.Capacity[s], 0)
+		}
+	}
+	g.minCostMaxFlow(src, sink)
+
+	assign := make([]int, n)
+	for j := range assign {
+		assign[j] = -1
+	}
+	for key, ei := range jobSlotEdge {
+		if g.edges[ei].flow > 0 {
+			if assign[key[0]] != -1 {
+				return Result{}, fmt.Errorf("match: flow assigned job %d twice", key[0])
+			}
+			assign[key[0]] = key[1]
+		}
+	}
+	in.checkFeasible(assign)
+	return in.score(assign), nil
+}

@@ -1,0 +1,53 @@
+package match
+
+import "sort"
+
+// Greedy solves the instance heuristically: jobs are processed in
+// descending order of their best achievable weight, and each takes the
+// highest-weight feasible slot with remaining capacity. It runs in
+// O(n m log n) and is the ablation baseline for the optimal solvers.
+func Greedy(in Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := in.Jobs()
+	best := make([]float64, n)
+	order := make([]int, n)
+	for j := 0; j < n; j++ {
+		order[j] = j
+		b := Forbidden
+		for s, w := range in.Weights[j] {
+			if w != Forbidden && in.Capacity[s] > 0 && w > b {
+				b = w
+			}
+		}
+		best[j] = b
+	}
+	sort.SliceStable(order, func(a, b int) bool { return best[order[a]] > best[order[b]] })
+
+	remaining := make([]int, in.Slots())
+	copy(remaining, in.Capacity)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for _, j := range order {
+		bestSlot := -1
+		bestW := Forbidden
+		for s, w := range in.Weights[j] {
+			if w == Forbidden || remaining[s] == 0 {
+				continue
+			}
+			if w > bestW {
+				bestW = w
+				bestSlot = s
+			}
+		}
+		if bestSlot >= 0 {
+			assign[j] = bestSlot
+			remaining[bestSlot]--
+		}
+	}
+	in.checkFeasible(assign)
+	return in.score(assign), nil
+}

@@ -1,0 +1,105 @@
+package match
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroupedResult is the solution of a transportation-form assignment: how
+// many jobs of each group go to each slot.
+type GroupedResult struct {
+	// Count[g][s] is the number of group-g jobs assigned to slot s.
+	Count [][]int
+	// Assigned is the total number of jobs placed.
+	Assigned int
+	// Weight is the total assignment weight.
+	Weight float64
+}
+
+// FlowGrouped solves the transportation relaxation of the assignment
+// problem exactly: group g consists of supply[g] interchangeable jobs
+// sharing the weight row weights[g] (same semantics as Instance.Weights,
+// including Forbidden), and slot s accepts at most capacity[s] jobs. The
+// objective is lexicographic (max assigned, then max weight), identical to
+// Flow on the expanded per-job instance — the GreenMatch scheduler relies
+// on this equivalence, which the tests verify, to plan hundreds of jobs
+// through a graph whose size depends only on (groups x slots).
+func FlowGrouped(weights [][]float64, supply []int, capacity []int) (GroupedResult, error) {
+	g := len(weights)
+	if len(supply) != g {
+		return GroupedResult{}, fmt.Errorf("match: %d weight rows but %d supplies", g, len(supply))
+	}
+	m := len(capacity)
+	maxW := 0.0
+	for gi, row := range weights {
+		if len(row) != m {
+			return GroupedResult{}, fmt.Errorf("match: group %d has %d weights, want %d", gi, len(row), m)
+		}
+		for s, w := range row {
+			if w == Forbidden {
+				continue
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return GroupedResult{}, fmt.Errorf("match: group %d slot %d weight %v must be finite and >= 0", gi, s, w)
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	for gi, s := range supply {
+		if s < 0 {
+			return GroupedResult{}, fmt.Errorf("match: group %d has negative supply %d", gi, s)
+		}
+	}
+	for s, c := range capacity {
+		if c < 0 {
+			return GroupedResult{}, fmt.Errorf("match: slot %d has negative capacity %d", s, c)
+		}
+	}
+
+	// Node layout: 0 = source, 1..g = groups, g+1..g+m = slots, g+m+1 = sink.
+	src, sink := 0, g+m+1
+	fg := newFlowGraph(g + m + 2)
+	bigW := maxW + 1
+	edgeOf := make(map[[2]int]int)
+	for gi := 0; gi < g; gi++ {
+		if supply[gi] == 0 {
+			continue
+		}
+		fg.addEdge(src, 1+gi, supply[gi], 0)
+		for s, w := range weights[gi] {
+			if w == Forbidden || capacity[s] == 0 {
+				continue
+			}
+			edgeCap := supply[gi]
+			if capacity[s] < edgeCap {
+				edgeCap = capacity[s]
+			}
+			edgeOf[[2]int{gi, s}] = fg.addEdge(1+gi, 1+g+s, edgeCap, bigW-w)
+		}
+	}
+	for s := 0; s < m; s++ {
+		if capacity[s] > 0 {
+			fg.addEdge(1+g+s, sink, capacity[s], 0)
+		}
+	}
+	fg.minCostMaxFlow(src, sink)
+
+	res := GroupedResult{Count: make([][]int, g)}
+	for gi := range res.Count {
+		res.Count[gi] = make([]int, m)
+	}
+	for key, ei := range edgeOf {
+		f := fg.edges[ei].flow
+		if f < 0 {
+			return GroupedResult{}, fmt.Errorf("match: negative flow on edge %v", key)
+		}
+		if f > 0 {
+			res.Count[key[0]][key[1]] = f
+			res.Assigned += f
+			res.Weight += float64(f) * weights[key[0]][key[1]]
+		}
+	}
+	return res, nil
+}

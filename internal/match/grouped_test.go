@@ -1,0 +1,144 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFlowGroupedSimple(t *testing.T) {
+	// Two groups: 3 urgent jobs (only slot 0), 2 flexible jobs preferring
+	// slot 1. Slot capacities 3 and 2.
+	weights := [][]float64{
+		{5, Forbidden},
+		{1, 9},
+	}
+	res, err := FlowGrouped(weights, []int{3, 2}, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count[0][0] != 3 || res.Count[1][1] != 2 {
+		t.Fatalf("counts wrong: %+v", res.Count)
+	}
+	if res.Assigned != 5 || math.Abs(res.Weight-(15+18)) > 1e-9 {
+		t.Fatalf("totals wrong: %+v", res)
+	}
+}
+
+func TestFlowGroupedRespectsCapacity(t *testing.T) {
+	weights := [][]float64{{7}}
+	res, err := FlowGrouped(weights, []int{10}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count[0][0] != 4 || res.Assigned != 4 {
+		t.Fatalf("capacity ignored: %+v", res)
+	}
+}
+
+func TestFlowGroupedLexicographic(t *testing.T) {
+	// Group 0 can use both slots (low weight); group 1 only slot 0 (high
+	// weight). Max-assigned requires group 0 to vacate slot 0.
+	weights := [][]float64{
+		{1, 1},
+		{100, Forbidden},
+	}
+	res, err := FlowGrouped(weights, []int{1, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned != 2 {
+		t.Fatalf("want both assigned: %+v", res)
+	}
+	if res.Count[1][0] != 1 || res.Count[0][1] != 1 {
+		t.Fatalf("assignment wrong: %+v", res.Count)
+	}
+}
+
+func TestFlowGroupedErrors(t *testing.T) {
+	if _, err := FlowGrouped([][]float64{{1}}, []int{1, 2}, []int{1}); err == nil {
+		t.Error("supply length mismatch should fail")
+	}
+	if _, err := FlowGrouped([][]float64{{1, 2}}, []int{1}, []int{1}); err == nil {
+		t.Error("ragged weights should fail")
+	}
+	if _, err := FlowGrouped([][]float64{{-1}}, []int{1}, []int{1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := FlowGrouped([][]float64{{1}}, []int{-1}, []int{1}); err == nil {
+		t.Error("negative supply should fail")
+	}
+	if _, err := FlowGrouped([][]float64{{1}}, []int{1}, []int{-1}); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+// expand replicates each group into per-job rows so Flow can solve the
+// identical instance.
+func expand(weights [][]float64, supply []int, capacity []int) Instance {
+	in := Instance{Capacity: capacity}
+	for g, n := range supply {
+		for k := 0; k < n; k++ {
+			row := append([]float64(nil), weights[g]...)
+			in.Weights = append(in.Weights, row)
+		}
+	}
+	return in
+}
+
+func TestFlowGroupedEqualsExpandedFlow(t *testing.T) {
+	s := rng.New(21, "grouped-cross")
+	for trial := 0; trial < 80; trial++ {
+		g := 1 + s.Intn(5)
+		m := 1 + s.Intn(5)
+		weights := make([][]float64, g)
+		supply := make([]int, g)
+		for i := range weights {
+			weights[i] = make([]float64, m)
+			for k := range weights[i] {
+				if s.Bernoulli(0.25) {
+					weights[i][k] = Forbidden
+				} else {
+					weights[i][k] = math.Round(s.Uniform(0, 10)*2) / 2
+				}
+			}
+			supply[i] = s.Intn(4)
+		}
+		capacity := make([]int, m)
+		for k := range capacity {
+			capacity[k] = s.Intn(5)
+		}
+		grouped, err := FlowGrouped(weights, supply, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := Flow(expand(weights, supply, capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grouped.Assigned != flat.Assigned || math.Abs(grouped.Weight-flat.Weight) > 1e-6 {
+			t.Fatalf("trial %d: grouped (%d, %v) != expanded flow (%d, %v)\nweights=%v supply=%v capacity=%v",
+				trial, grouped.Assigned, grouped.Weight, flat.Assigned, flat.Weight, weights, supply, capacity)
+		}
+		// Counts respect supply and capacity.
+		for gi := range weights {
+			tot := 0
+			for k := range capacity {
+				tot += grouped.Count[gi][k]
+			}
+			if tot > supply[gi] {
+				t.Fatalf("group %d over supply", gi)
+			}
+		}
+		for k := range capacity {
+			tot := 0
+			for gi := range weights {
+				tot += grouped.Count[gi][k]
+			}
+			if tot > capacity[k] {
+				t.Fatalf("slot %d over capacity", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package match
+
+import "math"
+
+// Hungarian solves the instance optimally with the Kuhn–Munkres algorithm
+// on the capacity-expanded cost matrix (each slot becomes Capacity[s] unit
+// columns, plus one dummy column per job so unassignable jobs stay
+// unassigned). Like Flow it maximizes (assigned count, weight)
+// lexicographically; the two solvers must agree on the optimum, which the
+// test suite cross-checks. Use Flow for large instances — Hungarian's
+// expansion makes it O(n^2 * (sum capacities + n)).
+func Hungarian(in Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := in.Jobs()
+	if n == 0 {
+		return in.score(nil), nil
+	}
+	// Expand slots into unit columns.
+	colSlot := make([]int, 0)
+	for s, c := range in.Capacity {
+		for k := 0; k < c; k++ {
+			colSlot = append(colSlot, s)
+		}
+	}
+	// Dummy columns guarantee a perfect matching on rows.
+	for k := 0; k < n; k++ {
+		colSlot = append(colSlot, -1)
+	}
+	m := len(colSlot)
+
+	bigW := in.maxWeight() + 1
+	dummyCost := float64(n+2) * bigW
+	forbiddenCost := float64(n+2) * dummyCost
+	cost := func(j, col int) float64 {
+		s := colSlot[col]
+		if s < 0 {
+			return dummyCost
+		}
+		w := in.Weights[j][s]
+		if w == Forbidden {
+			return forbiddenCost
+		}
+		return bigW - w
+	}
+
+	// Kuhn–Munkres with potentials; 1-indexed per the classic formulation.
+	inf := math.Inf(1)
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1) // alternating-tree back-pointers
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] == 0 {
+			continue
+		}
+		row := p[j] - 1
+		s := colSlot[j-1]
+		if s < 0 {
+			continue // dummy: job stays unassigned
+		}
+		if in.Weights[row][s] == Forbidden {
+			// Only reachable when the job had no feasible slot at all and
+			// the dummies were exhausted, which cannot happen (n dummies,
+			// n rows); keep it unassigned defensively.
+			continue
+		}
+		assign[row] = s
+	}
+	in.checkFeasible(assign)
+	return in.score(assign), nil
+}

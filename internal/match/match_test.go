@@ -1,0 +1,329 @@
+package match
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// bruteForce enumerates every feasible assignment and returns the
+// lexicographic optimum (max assigned count, then max weight). Exponential;
+// only for tiny instances.
+func bruteForce(in Instance) Result {
+	n := in.Jobs()
+	best := Result{Assigned: -1}
+	assign := make([]int, n)
+	remaining := make([]int, in.Slots())
+	copy(remaining, in.Capacity)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			r := in.score(append([]int(nil), assign...))
+			if r.Assigned > best.Assigned || (r.Assigned == best.Assigned && r.Weight > best.Weight) {
+				best = r
+			}
+			return
+		}
+		assign[j] = -1
+		rec(j + 1)
+		for s := 0; s < in.Slots(); s++ {
+			if in.Weights[j][s] == Forbidden || remaining[s] == 0 {
+				continue
+			}
+			assign[j] = s
+			remaining[s]--
+			rec(j + 1)
+			remaining[s]++
+			assign[j] = -1
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestSimpleOptimal(t *testing.T) {
+	in := Instance{
+		Weights: [][]float64{
+			{10, 1},
+			{9, 8},
+		},
+		Capacity: []int{1, 1},
+	}
+	// Optimal: job0->slot0 (10), job1->slot1 (8) = 18.
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assigned != 2 || math.Abs(r.Weight-18) > 1e-9 {
+			t.Fatalf("got %+v, want assigned=2 weight=18", r)
+		}
+	}
+	// Greedy also happens to find it here (job0 first since 10 > 9).
+	g, _ := Greedy(in)
+	if g.Weight != 18 {
+		t.Fatalf("greedy weight %v", g.Weight)
+	}
+}
+
+func TestGreedySuboptimalCase(t *testing.T) {
+	// Greedy trap: job0's best is slot0 (10), taking it starves job1
+	// (slot0: 9.9, elsewhere forbidden). Optimal: job0->slot1 (9), job1->slot0.
+	in := Instance{
+		Weights: [][]float64{
+			{10, 9},
+			{9.9, Forbidden},
+		},
+		Capacity: []int{1, 1},
+	}
+	f, _ := Flow(in)
+	h, _ := Hungarian(in)
+	g, _ := Greedy(in)
+	if f.Assigned != 2 || math.Abs(f.Weight-18.9) > 1e-9 {
+		t.Fatalf("flow %+v, want 18.9", f)
+	}
+	if h.Assigned != 2 || math.Abs(h.Weight-18.9) > 1e-9 {
+		t.Fatalf("hungarian %+v, want 18.9", h)
+	}
+	// Greedy gives job0 slot0 (its best), starving job1 entirely: it loses
+	// on both assigned count and weight — exactly the failure mode that
+	// motivates the optimal solvers.
+	if g.Assigned != 1 || g.Weight != 10 {
+		t.Fatalf("greedy = %+v, want the trap outcome (1 assigned, weight 10)", g)
+	}
+}
+
+func TestCapacitySharing(t *testing.T) {
+	// One slot with capacity 3 takes all jobs.
+	in := Instance{
+		Weights:  [][]float64{{5}, {4}, {3}},
+		Capacity: []int{3},
+	}
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assigned != 3 || r.Weight != 12 {
+			t.Fatalf("got %+v, want all 3 assigned, weight 12", r)
+		}
+	}
+}
+
+func TestOverSubscription(t *testing.T) {
+	// 3 jobs, total capacity 2: the two heaviest must be placed.
+	in := Instance{
+		Weights:  [][]float64{{5}, {9}, {3}},
+		Capacity: []int{2},
+	}
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assigned != 2 || r.Weight != 14 {
+			t.Fatalf("got %+v, want assigned=2 weight=14", r)
+		}
+	}
+}
+
+func TestMaximizeAssignedBeforeWeight(t *testing.T) {
+	// Assigning both jobs yields weight 1+1=2; assigning only job0 to
+	// slot1 yields 100. Lexicographic objective must prefer 2 assigned.
+	in := Instance{
+		Weights: [][]float64{
+			{1, 100},
+			{Forbidden, 1},
+		},
+		Capacity: []int{1, 1},
+	}
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assigned != 2 {
+			t.Fatalf("solver sacrificed a job for weight: %+v", r)
+		}
+		if math.Abs(r.Weight-2) > 1e-9 {
+			t.Fatalf("weight %v, want 2", r.Weight)
+		}
+	}
+}
+
+func TestUnassignableJob(t *testing.T) {
+	in := Instance{
+		Weights: [][]float64{
+			{Forbidden, Forbidden},
+			{5, 1},
+		},
+		Capacity: []int{1, 1},
+	}
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assign[0] != -1 {
+			t.Fatalf("job with no feasible slot must stay unassigned: %+v", r)
+		}
+		if r.Assign[1] != 0 || r.Weight != 5 {
+			t.Fatalf("feasible job should still be placed optimally: %+v", r)
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	in := Instance{
+		Weights:  [][]float64{{7, 3}},
+		Capacity: []int{0, 1},
+	}
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assign[0] != 1 {
+			t.Fatalf("zero-capacity slot used: %+v", r)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := Instance{Weights: nil, Capacity: []int{2, 2}}
+	for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+		r, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assigned != 0 || r.Weight != 0 {
+			t.Fatalf("empty instance should solve trivially: %+v", r)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Instance{
+		{Weights: [][]float64{{1, 2}}, Capacity: []int{1}},        // ragged
+		{Weights: [][]float64{{-1}}, Capacity: []int{1}},          // negative
+		{Weights: [][]float64{{math.NaN()}}, Capacity: []int{1}},  // NaN
+		{Weights: [][]float64{{math.Inf(1)}}, Capacity: []int{1}}, // +Inf
+		{Weights: [][]float64{{1}}, Capacity: []int{-1}},          // negative capacity
+	}
+	for i, in := range bad {
+		for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+			if _, err := solve(in); err == nil {
+				t.Errorf("case %d should fail validation", i)
+			}
+		}
+	}
+}
+
+func randomInstance(s *rng.Stream, maxJobs, maxSlots, maxCap int) Instance {
+	n := s.Intn(maxJobs + 1)
+	m := s.Intn(maxSlots) + 1
+	in := Instance{Weights: make([][]float64, n), Capacity: make([]int, m)}
+	for j := 0; j < n; j++ {
+		in.Weights[j] = make([]float64, m)
+		for k := 0; k < m; k++ {
+			if s.Bernoulli(0.25) {
+				in.Weights[j][k] = Forbidden
+			} else {
+				in.Weights[j][k] = math.Round(s.Uniform(0, 20)*4) / 4
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		in.Capacity[k] = s.Intn(maxCap + 1)
+	}
+	return in
+}
+
+func TestOptimalSolversMatchBruteForce(t *testing.T) {
+	s := rng.New(11, "match-brute")
+	for trial := 0; trial < 150; trial++ {
+		in := randomInstance(s, 4, 3, 2)
+		want := bruteForce(in)
+		f, err := Flow(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Hungarian(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, got := range map[string]Result{"flow": f, "hungarian": h} {
+			if got.Assigned != want.Assigned || math.Abs(got.Weight-want.Weight) > 1e-6 {
+				t.Fatalf("trial %d %s: got (%d, %v), brute force (%d, %v)\ninstance: %+v",
+					trial, name, got.Assigned, got.Weight, want.Assigned, want.Weight, in)
+			}
+		}
+	}
+}
+
+func TestFlowEqualsHungarianOnLargerInstances(t *testing.T) {
+	s := rng.New(13, "match-cross")
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(s, 25, 12, 4)
+		f, err := Flow(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Hungarian(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Assigned != h.Assigned || math.Abs(f.Weight-h.Weight) > 1e-6 {
+			t.Fatalf("trial %d: flow (%d, %v) != hungarian (%d, %v)",
+				trial, f.Assigned, f.Weight, h.Assigned, h.Weight)
+		}
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.New(seed, "match-prop")
+		in := randomInstance(s, 10, 6, 3)
+		g, err := Greedy(in)
+		if err != nil {
+			return false
+		}
+		opt, err := Flow(in)
+		if err != nil {
+			return false
+		}
+		if g.Assigned > opt.Assigned {
+			return false
+		}
+		if g.Assigned == opt.Assigned && g.Weight > opt.Weight+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultScoreConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.New(seed, "match-score")
+		in := randomInstance(s, 8, 5, 2)
+		for _, solve := range []func(Instance) (Result, error){Flow, Hungarian, Greedy} {
+			r, err := solve(in)
+			if err != nil {
+				return false
+			}
+			re := in.score(r.Assign)
+			if re.Assigned != r.Assigned || math.Abs(re.Weight-r.Weight) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

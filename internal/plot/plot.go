@@ -1,0 +1,213 @@
+// Package plot renders the simulator's figure series as self-contained SVG
+// line charts, using nothing but the standard library. The output embeds
+// into the HTML experiment report (internal/report) and is also valid as a
+// standalone .svg file.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line; X is implicit (0..len(Y)-1) unless X is set.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Y holds the sample values.
+	Y []float64
+	// X optionally holds explicit x coordinates (must match len(Y)).
+	X []float64
+}
+
+// Chart is a single line chart.
+type Chart struct {
+	// Title is drawn above the plot area.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	YLabel string
+	// Width and Height are the SVG dimensions in pixels (defaults 720x360).
+	Width  int
+	Height int
+	// Series are the lines; at least one non-empty series is required.
+	Series []Series
+}
+
+// palette is a colorblind-friendly line palette.
+var palette = []string{
+	"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB",
+}
+
+// niceTicks returns ~n human-friendly tick values spanning [lo, hi] using
+// the classic 1/2/5 step rule. lo > hi is normalized; a degenerate range
+// produces a single tick.
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch r := rawStep / mag; {
+	case r <= 1:
+		step = mag
+	case r <= 2:
+		step = 2 * mag
+	case r <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/2; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// SVG renders the chart. It returns an error for charts with no drawable
+// data rather than emitting an empty image.
+func (c *Chart) SVG() (string, error) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 360
+	}
+	points := 0
+	for _, s := range c.Series {
+		points += len(s.Y)
+		if s.X != nil && len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values for %d y values", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i, y := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	// Anchor the y axis at zero for non-negative data, the common case for
+	// energy/power series.
+	if ymin > 0 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	const marginL, marginR, marginT, marginB = 64, 16, 36, 48
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	xpix := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	ypix := func(y float64) float64 { return float64(marginT) + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`, marginL, escape(c.Title))
+	}
+
+	// Grid and ticks.
+	for _, ty := range niceTicks(ymin, ymax, 6) {
+		if ty < ymin || ty > ymax {
+			continue
+		}
+		y := ypix(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`, marginL, y, float64(marginL)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`, marginL-6, y, formatTick(ty))
+	}
+	for _, tx := range niceTicks(xmin, xmax, 8) {
+		if tx < xmin || tx > xmax {
+			continue
+		}
+		x := xpix(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#eee"/>`, x, marginT, x, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`, x, float64(marginT)+plotH+16, formatTick(tx))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="#333"/>`, marginL, marginT, marginL, float64(marginT)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`, marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, float64(marginL)+plotW/2, height-8, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escape(c.YLabel))
+	}
+
+	// Lines.
+	for si, s := range c.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		for i, y := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", xpix(x), ypix(y))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`, color, pts.String())
+	}
+	// Legend.
+	lx := marginL + 8
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		y := marginT + 6 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`, lx, y, lx+18, y, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`, lx+24, y+1, escape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

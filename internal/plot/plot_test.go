@@ -1,0 +1,151 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVGBasic(t *testing.T) {
+	c := Chart{
+		Title:  "Brown energy vs battery size",
+		XLabel: "battery (kWh)",
+		YLabel: "brown (kWh)",
+		Series: []Series{
+			{Name: "baseline", Y: []float64{100, 80, 60, 40}},
+			{Name: "greenmatch", Y: []float64{80, 55, 30, 10}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Brown energy vs battery size",
+		"baseline", "greenmatch", "polyline", "battery (kWh)", "brown (kWh)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("want 2 polylines, got %d", got)
+	}
+}
+
+func TestSVGEmptyChartErrors(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("empty chart should error")
+	}
+	c.Series = []Series{{Name: "none", Y: nil}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("chart with empty series should error")
+	}
+}
+
+func TestSVGExplicitXMismatch(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "bad", Y: []float64{1, 2}, X: []float64{0}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("x/y length mismatch should error")
+	}
+}
+
+func TestSVGExplicitX(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", Y: []float64{1, 4, 9}, X: []float64{0, 20, 40}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("no polyline")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := Chart{
+		Title:  `<script>alert("x")</script>`,
+		Series: []Series{{Name: "a<b", Y: []float64{1, 2}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("markup not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") || !strings.Contains(svg, "a&lt;b") {
+		t.Fatal("escape output missing")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "flat", Y: []float64{5, 5, 5}}}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+	z := Chart{Series: []Series{{Name: "zero", Y: []float64{0, 0}}}}
+	if _, err := z.SVG(); err != nil {
+		t.Fatalf("all-zero series should render: %v", err)
+	}
+	one := Chart{Series: []Series{{Name: "single", Y: []float64{3}}}}
+	if _, err := one.SVG(); err != nil {
+		t.Fatalf("single point should render: %v", err)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Fatalf("tick count %d for [0,100]", len(ticks))
+	}
+	if ticks[0] > 0 {
+		t.Fatal("first tick should be at or below lo")
+	}
+	// Steps must be uniform and from the 1/2/5 family.
+	step := ticks[1] - ticks[0]
+	mant := step / math.Pow(10, math.Floor(math.Log10(step)))
+	ok := math.Abs(mant-1) < 1e-9 || math.Abs(mant-2) < 1e-9 || math.Abs(mant-5) < 1e-9
+	if !ok {
+		t.Fatalf("step %v not from the 1/2/5 family", step)
+	}
+	if got := niceTicks(3, 3, 5); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("degenerate range ticks: %v", got)
+	}
+}
+
+func TestNiceTicksProperty(t *testing.T) {
+	f := func(loRaw, spanRaw int16) bool {
+		lo := float64(loRaw) / 10
+		span := math.Abs(float64(spanRaw))/10 + 0.1
+		ticks := niceTicks(lo, lo+span, 6)
+		if len(ticks) == 0 || len(ticks) > 14 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		1500000: "1.5M",
+		25000:   "25k",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+)
+
+func sampleTable() *metrics.Table {
+	t := &metrics.Table{Title: "Sample", Headers: []string{"battery_kwh", "baseline", "greenmatch"}}
+	t.AddRow(0, 100.0, 80.0)
+	t.AddRow(20, 70.0, 50.0)
+	t.AddRow(40, 40.0, 20.0)
+	return t
+}
+
+func TestChartFromTable(t *testing.T) {
+	c := ChartFromTable(sampleTable(), "fig")
+	if c == nil {
+		t.Fatal("plottable table produced no chart")
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(c.Series))
+	}
+	if c.Series[0].Name != "baseline" || c.Series[1].Name != "greenmatch" {
+		t.Fatalf("series names wrong: %+v", c.Series)
+	}
+	if c.Series[0].X[1] != 20 || c.Series[0].Y[2] != 40 {
+		t.Fatalf("values wrong: %+v", c.Series[0])
+	}
+}
+
+func TestChartFromTableSkipsTextColumns(t *testing.T) {
+	tb := &metrics.Table{Headers: []string{"size", "policy", "brown"}}
+	tb.AddRow(0, "baseline", 10.0)
+	tb.AddRow(10, "baseline", 5.0)
+	c := ChartFromTable(tb, "fig")
+	if c == nil {
+		t.Fatal("mixed table should still chart numeric columns")
+	}
+	if len(c.Series) != 1 || c.Series[0].Name != "brown" {
+		t.Fatalf("series: %+v", c.Series)
+	}
+}
+
+func TestChartFromTableUnplottable(t *testing.T) {
+	tb := &metrics.Table{Headers: []string{"name", "note"}}
+	tb.AddRow("a", "x")
+	tb.AddRow("b", "y")
+	if ChartFromTable(tb, "fig") != nil {
+		t.Fatal("text-only table should yield no chart")
+	}
+	one := &metrics.Table{Headers: []string{"x", "y"}}
+	one.AddRow(1, 2)
+	if ChartFromTable(one, "fig") != nil {
+		t.Fatal("single-row table should yield no chart")
+	}
+	if ChartFromTable(nil, "fig") != nil {
+		t.Fatal("nil table should yield no chart")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var buf bytes.Buffer
+	sections := []Section{
+		{
+			Heading: "E3 (figure): battery sizing",
+			Tables:  []*metrics.Table{sampleTable()},
+			Chart:   ChartFromTable(sampleTable(), "E3"),
+		},
+		{
+			Heading: "E7 (table): chemistry",
+			Tables:  []*metrics.Table{sampleTable()},
+		},
+	}
+	if err := Render(&buf, "GreenMatch results", sections); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "GreenMatch results", "E3 (figure)", "E7 (table)",
+		"<svg", "<table>", "battery_kwh", "greenmatch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Only the figure section carries a chart.
+	if got := strings.Count(out, "<svg"); got != 1 {
+		t.Errorf("want 1 svg, got %d", got)
+	}
+}
+
+func TestRenderEscapesCellContent(t *testing.T) {
+	tb := &metrics.Table{Title: "inject", Headers: []string{"a"}}
+	tb.AddRow(`<script>alert(1)</script>`)
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", []Section{{Heading: "h", Tables: []*metrics.Table{tb}}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Fatal("cell content not escaped")
+	}
+}
+
+func TestRenderBadChart(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []Section{{Heading: "h", Chart: &plot.Chart{Title: "empty"}}}
+	if err := Render(&buf, "t", bad); err == nil {
+		t.Fatal("empty chart should fail the render")
+	}
+}
+
+func TestRenderRaggedTable(t *testing.T) {
+	tb := &metrics.Table{Headers: []string{"a", "b"}}
+	tb.Rows = append(tb.Rows, []string{"only"})
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", []Section{{Heading: "h", Tables: []*metrics.Table{tb}}}); err == nil {
+		t.Fatal("ragged table should fail the render")
+	}
+}

@@ -1,0 +1,200 @@
+// Package rng provides deterministic, named random-number streams and the
+// sampling distributions used by the GreenMatch workload, solar and wind
+// models.
+//
+// Reproducibility is a hard requirement for a trace-driven simulator: every
+// experiment in EXPERIMENTS.md must produce the same numbers on every run.
+// The package therefore derives independent sub-streams from a single root
+// seed plus a stream name (via FNV-1a hashing), so adding a new consumer of
+// randomness never perturbs the draws seen by existing consumers.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Stream is a deterministic random stream with a set of sampling helpers.
+// It wraps math/rand.Rand and is NOT safe for concurrent use; create one
+// stream per goroutine or per model component.
+type Stream struct {
+	r    *rand.Rand
+	name string
+}
+
+// New returns the sub-stream of root seed `seed` identified by `name`.
+// Streams with different names are statistically independent for the
+// purposes of this simulator.
+func New(seed int64, name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	sub := int64(h.Sum64()) ^ (seed * 0x4F1BBCDCBFA53E0B)
+	return &Stream{r: rand.New(rand.NewSource(sub)), name: name}
+}
+
+// Name returns the stream's name, useful in error messages.
+func (s *Stream) Name() string { return s.name }
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0,n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Normal returns a draw from N(mu, sigma^2).
+func (s *Stream) Normal(mu, sigma float64) float64 {
+	return mu + sigma*s.r.NormFloat64()
+}
+
+// LogNormal returns a draw from the log-normal distribution whose underlying
+// normal has parameters (mu, sigma).
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exp returns a draw from the exponential distribution with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp requires rate > 0")
+	}
+	return s.r.ExpFloat64() / rate
+}
+
+// Poisson returns a draw from the Poisson distribution with the given mean.
+// It uses Knuth's product method for small means and a normal approximation
+// (rounded, floored at zero) for large means, which is accurate to well
+// within the needs of workload generation.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := math.Round(s.Normal(mean, math.Sqrt(mean)))
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Weibull returns a draw from the Weibull distribution with shape k and
+// scale lambda, via inverse-CDF sampling. Both parameters must be positive.
+func (s *Stream) Weibull(k, lambda float64) float64 {
+	if k <= 0 || lambda <= 0 {
+		panic("rng: Weibull requires positive shape and scale")
+	}
+	u := s.r.Float64()
+	// Guard against log(0).
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return lambda * math.Pow(-math.Log(u), 1/k)
+}
+
+// Pareto returns a draw from the Pareto distribution with minimum xm and
+// tail index alpha.
+func (s *Stream) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto requires positive xm and alpha")
+	}
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	return s.r.Float64() < p
+}
+
+// BoundedBeta returns a crude Beta-like draw in [0,1] with the given mean,
+// implemented as the mean-preserving clamp of a normal. It is used for cloud
+// attenuation factors where a smooth unimodal distribution on [0,1] is all
+// that is required.
+func (s *Stream) BoundedBeta(mean, spread float64) float64 {
+	v := s.Normal(mean, spread)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Shuffle permutes the n-element collection using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	s.r.Shuffle(n, swap)
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Zipf is a bounded Zipf(θ) sampler over {0,...,n-1}, used for object
+// popularity in the storage read model. It precomputes the harmonic
+// normalizer and samples by inverse transform over the CDF (binary search),
+// making draws O(log n).
+type Zipf struct {
+	cdf []float64
+	s   *Stream
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent theta >= 0.
+// theta = 0 degenerates to the uniform distribution; typical storage
+// popularity uses theta in [0.6, 1.1].
+func NewZipf(s *Stream, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf requires n > 0")
+	}
+	if theta < 0 {
+		panic("rng: NewZipf requires theta >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact, despite rounding
+	return &Zipf{cdf: cdf, s: s}
+}
+
+// Next returns the next item index, with item 0 the most popular.
+func (z *Zipf) Next() int {
+	u := z.s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of items the sampler draws over.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenariosCompile keeps every curated scenario file in
+// /scenarios valid: each must parse (unknown fields rejected) and compile
+// into a runnable config.
+func TestShippedScenariosCompile(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenarios directory missing: %v", err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("expected at least 5 curated scenarios, found %d", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s, err := Read(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name == "" {
+				t.Error("scenario has no name")
+			}
+			if _, err := s.Compile(); err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDefaultCompilesAndRuns(t *testing.T) {
+	s := Default()
+	s.WorkloadScale = 0.05 // keep the test fast
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "greenmatch" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if res.SLA.Completed == 0 {
+		t.Fatal("nothing ran")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := Default()
+	s.Policy = "mixed"
+	s.Fraction = 0.5
+	s.Chemistry = "lead-acid"
+	s.FailureMTBFHours = 1000
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", s, back)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"name":"x","battery_kvh":10}`))
+	if err == nil {
+		t.Fatal("typo'd field should be rejected")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	mut := func(f func(*Scenario)) Scenario {
+		s := Default()
+		s.WorkloadScale = 0.05
+		f(&s)
+		return s
+	}
+	bad := []Scenario{
+		mut(func(s *Scenario) { s.Source = "coal" }),
+		mut(func(s *Scenario) { s.Policy = "magic" }),
+		mut(func(s *Scenario) { s.Forecaster = "astrology" }),
+		mut(func(s *Scenario) { s.Chemistry = "potato" }),
+		mut(func(s *Scenario) { s.Profile = "apocalypse" }),
+		mut(func(s *Scenario) { s.BatteryKWh = -1 }),
+		mut(func(s *Scenario) { s.Nodes = 1; s.Replicas = 100 }),
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, s)
+		}
+	}
+}
+
+func TestCompileAllPolicies(t *testing.T) {
+	for _, pol := range []string{"baseline", "spindown", "defer", "greenmatch", "mixed"} {
+		s := Default()
+		s.WorkloadScale = 0.05
+		s.Policy = pol
+		s.Fraction = 0.5
+		if _, err := s.Compile(); err != nil {
+			t.Errorf("%s: %v", pol, err)
+		}
+	}
+}
+
+func TestCompileSources(t *testing.T) {
+	for _, src := range []string{"solar", "wind", "hybrid"} {
+		s := Default()
+		s.WorkloadScale = 0.05
+		s.Source = src
+		s.Turbines = 2
+		cfg, err := s.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if cfg.Green.Slots() != 24*21 {
+			t.Fatalf("%s: supply slots %d", src, cfg.Green.Slots())
+		}
+	}
+}
+
+func TestCompileDefaultsFillIn(t *testing.T) {
+	s := Scenario{AreaM2: 10, ReadsPerSlot: 1, WorkloadScale: 0.05, Nodes: 4, Objects: 100}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy.Name() != "greenmatch" {
+		t.Errorf("default policy %q", cfg.Policy.Name())
+	}
+	if cfg.BatterySpec.Name != "lithium-ion" {
+		t.Errorf("default chemistry %q", cfg.BatterySpec.Name)
+	}
+}
+
+func TestFailureFieldsPropagate(t *testing.T) {
+	s := Default()
+	s.WorkloadScale = 0.05
+	s.FailureMTBFHours = 777
+	s.NodeRepairSlots = 5
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FailureMTBFHours != 777 || cfg.NodeRepairSlots != 5 {
+		t.Fatalf("failure fields lost: %+v", cfg)
+	}
+}
+
+func TestTieredScenario(t *testing.T) {
+	s := Default()
+	s.WorkloadScale = 0.05
+	s.HotTierNodes = 3
+	s.HotShare = 0.2
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Cluster.Tiers) != 2 {
+		t.Fatalf("tiers = %d, want 2", len(cfg.Cluster.Tiers))
+	}
+	if cfg.Cluster.Tiers[0].Nodes != 3 || cfg.Cluster.Tiers[1].Nodes != 5 {
+		t.Fatalf("tier split wrong: %+v", cfg.Cluster.Tiers)
+	}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Inconsistent tier fields fail loudly.
+	bad := Default()
+	bad.HotTierNodes = 3 // share missing
+	if _, err := bad.Compile(); err == nil {
+		t.Error("hot tier without share should fail")
+	}
+	bad = Default()
+	bad.HotTierNodes = bad.Nodes // no cold nodes
+	bad.HotShare = 0.2
+	if _, err := bad.Compile(); err == nil {
+		t.Error("hot tier consuming every node should fail")
+	}
+}

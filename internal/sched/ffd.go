@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlaceItem is one job from the placement engine's point of view.
+type PlaceItem struct {
+	// ID identifies the job.
+	ID int
+	// CPU and RAM are the demands in cores / GB.
+	CPU float64
+	RAM float64
+	// Pinned, when >= 0, fixes the item to that node (used for running
+	// jobs when consolidation is off). Pinned items are placed first and
+	// never fail unless their node genuinely lacks capacity, in which case
+	// Place reports them unplaced (caller decides whether to migrate).
+	Pinned int
+}
+
+// Placement is the output of the FFD engine.
+type Placement struct {
+	// NodeOf maps item ID to node index.
+	NodeOf map[int]int
+	// Unplaced lists items that fit on no node.
+	Unplaced []int
+	// NodesUsed is the number of distinct nodes hosting at least one item.
+	NodesUsed int
+	// CPUByNode and RAMByNode report the load placed per node.
+	CPUByNode map[int]float64
+	RAMByNode map[int]float64
+}
+
+// FFD packs items onto nodes with the First-Fit-Decreasing heuristic under
+// a resource over-commit factor: each of `nodes` nodes offers
+// cpuCap*overcommit cores and ramCap*overcommit GB. Items are sorted by
+// descending CPU (RAM as tiebreak, then ID for determinism) and each takes
+// the first node with room. Pinned items are seated first.
+//
+// FFD's classical guarantee FFD(L) <= 11/9*OPT(L) + 1 (Yue 1991) applies
+// per dimension; the 2-D variant used here inherits it as a heuristic, and
+// the test suite cross-checks small instances against brute force.
+func FFD(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float64) (Placement, error) {
+	return FFDAvoiding(items, nodes, cpuCap, ramCap, overcommit, nil)
+}
+
+// FFDAvoiding is FFD with a set of unusable nodes (failed or cordoned):
+// no item is placed there, and a pin to an unusable node reports the item
+// unplaced so the caller can re-route it.
+func FFDAvoiding(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float64, disabled map[int]bool) (Placement, error) {
+	if nodes <= 0 {
+		return Placement{}, fmt.Errorf("sched: FFD needs at least one node")
+	}
+	if cpuCap <= 0 || ramCap <= 0 {
+		return Placement{}, fmt.Errorf("sched: FFD needs positive capacities (cpu=%v ram=%v)", cpuCap, ramCap)
+	}
+	if overcommit < 1 {
+		return Placement{}, fmt.Errorf("sched: over-commit %v below 1", overcommit)
+	}
+	effCPU := cpuCap * overcommit
+	effRAM := ramCap * overcommit
+
+	p := Placement{
+		NodeOf:    make(map[int]int, len(items)),
+		CPUByNode: make(map[int]float64),
+		RAMByNode: make(map[int]float64),
+	}
+	seen := make(map[int]bool, len(items))
+	for _, it := range items {
+		if seen[it.ID] {
+			return Placement{}, fmt.Errorf("sched: duplicate item id %d", it.ID)
+		}
+		seen[it.ID] = true
+		if it.CPU < 0 || it.RAM < 0 {
+			return Placement{}, fmt.Errorf("sched: item %d has negative demand", it.ID)
+		}
+	}
+
+	place := func(it PlaceItem, node int) {
+		p.NodeOf[it.ID] = node
+		p.CPUByNode[node] += it.CPU
+		p.RAMByNode[node] += it.RAM
+	}
+	fits := func(it PlaceItem, node int) bool {
+		return p.CPUByNode[node]+it.CPU <= effCPU+1e-9 && p.RAMByNode[node]+it.RAM <= effRAM+1e-9
+	}
+
+	// Seat pinned items first, in ID order for determinism.
+	var pinned, free []PlaceItem
+	for _, it := range items {
+		if it.Pinned >= 0 {
+			pinned = append(pinned, it)
+		} else {
+			free = append(free, it)
+		}
+	}
+	sort.Slice(pinned, func(i, j int) bool { return pinned[i].ID < pinned[j].ID })
+	for _, it := range pinned {
+		if it.Pinned >= nodes {
+			return Placement{}, fmt.Errorf("sched: item %d pinned to nonexistent node %d", it.ID, it.Pinned)
+		}
+		if !disabled[it.Pinned] && fits(it, it.Pinned) {
+			place(it, it.Pinned)
+		} else {
+			p.Unplaced = append(p.Unplaced, it.ID)
+		}
+	}
+
+	// First-Fit-Decreasing for the rest.
+	sort.Slice(free, func(i, j int) bool {
+		a, b := free[i], free[j]
+		if a.CPU != b.CPU {
+			return a.CPU > b.CPU
+		}
+		if a.RAM != b.RAM {
+			return a.RAM > b.RAM
+		}
+		return a.ID < b.ID
+	})
+	for _, it := range free {
+		placed := false
+		for n := 0; n < nodes; n++ {
+			if disabled[n] {
+				continue
+			}
+			if fits(it, n) {
+				place(it, n)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			p.Unplaced = append(p.Unplaced, it.ID)
+		}
+	}
+
+	used := make(map[int]bool)
+	for _, n := range p.NodeOf {
+		used[n] = true
+	}
+	p.NodesUsed = len(used)
+	sort.Ints(p.Unplaced)
+	return p, nil
+}

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFFDBasicPacking(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 6, RAM: 8, Pinned: -1},
+		{ID: 1, CPU: 6, RAM: 8, Pinned: -1},
+		{ID: 2, CPU: 6, RAM: 8, Pinned: -1},
+		{ID: 3, CPU: 6, RAM: 8, Pinned: -1},
+	}
+	// 12-core nodes, no over-commit: two per node.
+	p, err := FFD(items, 5, 12, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodesUsed != 2 {
+		t.Fatalf("nodes used %d, want 2", p.NodesUsed)
+	}
+	if len(p.Unplaced) != 0 {
+		t.Fatalf("unplaced: %v", p.Unplaced)
+	}
+}
+
+func TestFFDOvercommit(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 9, RAM: 8, Pinned: -1},
+		{ID: 1, CPU: 9, RAM: 8, Pinned: -1},
+	}
+	// Without over-commit: 2 nodes. With 1.5x: one 12-core node takes 18.
+	p1, _ := FFD(items, 3, 12, 32, 1)
+	if p1.NodesUsed != 2 {
+		t.Fatalf("no-overcommit nodes %d, want 2", p1.NodesUsed)
+	}
+	p2, _ := FFD(items, 3, 12, 32, 1.5)
+	if p2.NodesUsed != 1 {
+		t.Fatalf("overcommit nodes %d, want 1", p2.NodesUsed)
+	}
+}
+
+func TestFFDRAMConstraintBinds(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 1, RAM: 30, Pinned: -1},
+		{ID: 1, CPU: 1, RAM: 30, Pinned: -1},
+	}
+	p, _ := FFD(items, 2, 12, 32, 1)
+	if p.NodesUsed != 2 {
+		t.Fatalf("RAM-bound items should spread: nodes %d", p.NodesUsed)
+	}
+}
+
+func TestFFDUnplaced(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 7, CPU: 100, RAM: 1, Pinned: -1},
+		{ID: 8, CPU: 1, RAM: 1, Pinned: -1},
+	}
+	p, _ := FFD(items, 1, 12, 32, 1)
+	if len(p.Unplaced) != 1 || p.Unplaced[0] != 7 {
+		t.Fatalf("unplaced = %v, want [7]", p.Unplaced)
+	}
+	if _, ok := p.NodeOf[8]; !ok {
+		t.Fatal("small item should still place")
+	}
+}
+
+func TestFFDPinned(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 6, RAM: 8, Pinned: 2},
+		{ID: 1, CPU: 6, RAM: 8, Pinned: -1},
+	}
+	p, err := FFD(items, 4, 12, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodeOf[0] != 2 {
+		t.Fatalf("pinned item on node %d, want 2", p.NodeOf[0])
+	}
+	// Free item goes first-fit to node 0.
+	if p.NodeOf[1] != 0 {
+		t.Fatalf("free item on node %d, want 0", p.NodeOf[1])
+	}
+}
+
+func TestFFDPinnedOverflow(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 10, RAM: 8, Pinned: 0},
+		{ID: 1, CPU: 10, RAM: 8, Pinned: 0},
+	}
+	p, err := FFD(items, 2, 12, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Unplaced) != 1 {
+		t.Fatalf("second pinned item should overflow: %+v", p)
+	}
+}
+
+func TestFFDErrors(t *testing.T) {
+	good := []PlaceItem{{ID: 0, CPU: 1, RAM: 1, Pinned: -1}}
+	if _, err := FFD(good, 0, 12, 32, 1); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := FFD(good, 1, 0, 32, 1); err == nil {
+		t.Error("zero cpu cap should fail")
+	}
+	if _, err := FFD(good, 1, 12, 32, 0.5); err == nil {
+		t.Error("overcommit < 1 should fail")
+	}
+	if _, err := FFD([]PlaceItem{{ID: 0, CPU: -1, RAM: 1, Pinned: -1}}, 1, 12, 32, 1); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if _, err := FFD([]PlaceItem{{ID: 0, CPU: 1, RAM: 1, Pinned: -1}, {ID: 0, CPU: 1, RAM: 1, Pinned: -1}}, 1, 12, 32, 1); err == nil {
+		t.Error("duplicate ids should fail")
+	}
+	if _, err := FFD([]PlaceItem{{ID: 0, CPU: 1, RAM: 1, Pinned: 9}}, 2, 12, 32, 1); err == nil {
+		t.Error("pin to nonexistent node should fail")
+	}
+}
+
+// optBins computes the optimal bin count for 1-D CPU-only items by branch
+// and bound (exponential; tiny instances only).
+func optBins(sizes []float64, cap float64) int {
+	best := len(sizes)
+	bins := []float64{}
+	var rec func(i int)
+	rec = func(i int) {
+		if len(bins) >= best {
+			return
+		}
+		if i == len(sizes) {
+			if len(bins) < best {
+				best = len(bins)
+			}
+			return
+		}
+		for b := range bins {
+			if bins[b]+sizes[i] <= cap+1e-9 {
+				bins[b] += sizes[i]
+				rec(i + 1)
+				bins[b] -= sizes[i]
+			}
+		}
+		bins = append(bins, sizes[i])
+		rec(i + 1)
+		bins = bins[:len(bins)-1]
+	}
+	rec(0)
+	return best
+}
+
+func TestFFDWithinClassicalBound(t *testing.T) {
+	// FFD(L) <= 11/9 OPT(L) + 1 on 1-D instances (RAM made non-binding).
+	s := rng.New(5, "ffd-bound")
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + s.Intn(7)
+		items := make([]PlaceItem, n)
+		sizes := make([]float64, n)
+		for i := range items {
+			c := float64(1+s.Intn(10)) / 10 * 12 // 1.2 .. 12 cores
+			items[i] = PlaceItem{ID: i, CPU: c, RAM: 0.001, Pinned: -1}
+			sizes[i] = c
+		}
+		p, err := FFD(items, n, 12, 1000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Unplaced) != 0 {
+			t.Fatalf("trial %d: unplaced with n nodes available", trial)
+		}
+		opt := optBins(sizes, 12)
+		if float64(p.NodesUsed) > 11.0/9.0*float64(opt)+1+1e-9 {
+			t.Fatalf("trial %d: FFD=%d exceeds 11/9*OPT+1 with OPT=%d", trial, p.NodesUsed, opt)
+		}
+	}
+}
+
+func TestFFDDeterministic(t *testing.T) {
+	s := rng.New(9, "ffd-det")
+	items := make([]PlaceItem, 40)
+	for i := range items {
+		items[i] = PlaceItem{ID: i, CPU: s.Uniform(0.5, 2), RAM: s.Uniform(1, 4), Pinned: -1}
+	}
+	a, _ := FFD(items, 10, 12, 32, 1.5)
+	b, _ := FFD(items, 10, 12, 32, 1.5)
+	for id, n := range a.NodeOf {
+		if b.NodeOf[id] != n {
+			t.Fatalf("nondeterministic placement for item %d", id)
+		}
+	}
+}
+
+func TestFFDLoadAccounting(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 4, RAM: 10, Pinned: -1},
+		{ID: 1, CPU: 5, RAM: 12, Pinned: -1},
+	}
+	p, _ := FFD(items, 1, 12, 32, 1)
+	if p.CPUByNode[0] != 9 || p.RAMByNode[0] != 22 {
+		t.Fatalf("load accounting wrong: %+v", p)
+	}
+}
+
+func TestFFDAvoidingSkipsDisabledNodes(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 6, RAM: 8, Pinned: -1},
+		{ID: 1, CPU: 6, RAM: 8, Pinned: -1},
+	}
+	p, err := FFDAvoiding(items, 3, 12, 32, 1, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range p.NodeOf {
+		if n == 0 {
+			t.Fatalf("item %d placed on disabled node 0", id)
+		}
+	}
+	if len(p.Unplaced) != 0 {
+		t.Fatalf("items should fit on the remaining nodes: %v", p.Unplaced)
+	}
+}
+
+func TestFFDAvoidingPinnedToDisabledNodeUnplaced(t *testing.T) {
+	items := []PlaceItem{{ID: 7, CPU: 1, RAM: 1, Pinned: 1}}
+	p, err := FFDAvoiding(items, 3, 12, 32, 1, map[int]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Unplaced) != 1 || p.Unplaced[0] != 7 {
+		t.Fatalf("pin to disabled node should report unplaced: %+v", p)
+	}
+}
+
+func TestFFDAvoidingAllDisabled(t *testing.T) {
+	items := []PlaceItem{{ID: 0, CPU: 1, RAM: 1, Pinned: -1}}
+	p, err := FFDAvoiding(items, 2, 12, 32, 1, map[int]bool{0: true, 1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Unplaced) != 1 {
+		t.Fatalf("all nodes disabled: item must be unplaced: %+v", p)
+	}
+}
+
+func TestFFDNilDisabledEqualsFFD(t *testing.T) {
+	items := []PlaceItem{
+		{ID: 0, CPU: 4, RAM: 8, Pinned: -1},
+		{ID: 1, CPU: 5, RAM: 6, Pinned: -1},
+	}
+	a, _ := FFD(items, 4, 12, 32, 1.5)
+	b, _ := FFDAvoiding(items, 4, 12, 32, 1.5, nil)
+	for id := range a.NodeOf {
+		if a.NodeOf[id] != b.NodeOf[id] {
+			t.Fatal("nil disabled set must behave as plain FFD")
+		}
+	}
+}

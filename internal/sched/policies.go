@@ -1,0 +1,461 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/match"
+	"repro/internal/units"
+)
+
+// Baseline runs every job as soon as it arrives (FFD placement with
+// over-commit in the simulator), keeps disks spinning, and never
+// consolidates mid-run. Renewable supply and the battery still apply —
+// surplus charges the ESD and deficits discharge it — which makes Baseline
+// exactly the "ESD-only" reference point of the evaluation.
+type Baseline struct{}
+
+// Name implements Policy.
+func (Baseline) Name() string { return "baseline" }
+
+// Plan implements Policy: start everything, suspend nothing.
+func (Baseline) Plan(v View) Decision {
+	return Decision{StartWaiting: allIndices(len(v.Waiting))}
+}
+
+// SpinDown is Baseline plus coverage-constrained disk spin-down and
+// consolidation: the classic energy-saving (but renewable-blind) operating
+// point, included to separate "saves energy" from "uses green energy".
+type SpinDown struct{}
+
+// Name implements Policy.
+func (SpinDown) Name() string { return "spindown" }
+
+// Plan implements Policy.
+func (SpinDown) Plan(v View) Decision {
+	return Decision{
+		StartWaiting:  allIndices(len(v.Waiting)),
+		Consolidate:   true,
+		SpinDownDisks: true,
+	}
+}
+
+// DeferFraction is the opportunistic policy of the genre: a configurable
+// fraction of deferrable jobs waits whenever the green supply cannot cover
+// the mandatory load plus the already-running work, and runs when it can.
+// Fraction 1.0 is "pure opportunistic"; fraction 0 degenerates to SpinDown.
+type DeferFraction struct {
+	// Fraction in [0,1] of deferrable jobs that participate in deferral.
+	Fraction float64
+	// ReserveSlack keeps a safety margin: participating jobs are only held
+	// while their slack exceeds this many slots (default 1).
+	ReserveSlack int
+}
+
+// Name implements Policy.
+func (p DeferFraction) Name() string { return fmt.Sprintf("defer%.0f%%", p.Fraction*100) }
+
+func (p DeferFraction) reserve() int {
+	if p.ReserveSlack <= 0 {
+		return 1
+	}
+	return p.ReserveSlack
+}
+
+// Plan implements Policy.
+func (p DeferFraction) Plan(v View) Decision {
+	d := Decision{Consolidate: true, SpinDownDisks: true}
+	headroom := float64(greenAt(v, 0)) - float64(v.EstMandatoryPowerW)
+	// Power the already-running deferrable work is drawing.
+	runningW := float64(v.PerJobPowerW) * float64(len(v.RunningDeferrable))
+
+	if headroom >= runningW {
+		// Green covers running deferrables; start as many waiting ones as
+		// the remaining headroom allows, non-participants first (they never
+		// wait), then participants by ascending slack.
+		budget := int((headroom - runningW) / float64(v.PerJobPowerW))
+		if sj := v.spaceJobs(); budget > sj {
+			budget = sj
+		}
+		d.StartWaiting = p.selectStarts(v, budget)
+		return d
+	}
+	// Deficit: hold participants, and suspend running participants that
+	// still have slack to spare.
+	d.StartWaiting = p.selectStarts(v, 0)
+	for i, r := range v.RunningDeferrable {
+		if stickyDefer(r.Job.ID, p.Fraction) && r.SlackAt(v.Slot) > p.reserve() {
+			d.SuspendRunning = append(d.SuspendRunning, i)
+		}
+	}
+	return d
+}
+
+// selectStarts starts every non-participant plus up to budget participants
+// (most-urgent first). Participants whose slack has shrunk to the reserve
+// start regardless of budget — the simulator would promote them next slot
+// anyway, and starting now avoids a needless miss risk.
+func (p DeferFraction) selectStarts(v View, budget int) []int {
+	var starts []int
+	type cand struct {
+		idx   int
+		slack int
+	}
+	var parts []cand
+	for i, r := range v.Waiting {
+		if !stickyDefer(r.Job.ID, p.Fraction) {
+			starts = append(starts, i)
+			continue
+		}
+		if r.SlackAt(v.Slot) <= p.reserve() {
+			starts = append(starts, i)
+			continue
+		}
+		parts = append(parts, cand{idx: i, slack: r.SlackAt(v.Slot)})
+	}
+	for b := 0; b < budget && len(parts) > 0; b++ {
+		// Most urgent participant first.
+		best := 0
+		for k := 1; k < len(parts); k++ {
+			if parts[k].slack < parts[best].slack {
+				best = k
+			}
+		}
+		starts = append(starts, parts[best].idx)
+		parts = append(parts[:best], parts[best+1:]...)
+	}
+	return starts
+}
+
+// Solver selects the assignment algorithm GreenMatch plans with.
+type Solver string
+
+// Supported solvers.
+const (
+	SolverFlow      Solver = "flow"
+	SolverHungarian Solver = "hungarian"
+	SolverGreedy    Solver = "greedy"
+)
+
+// GreenMatch is the paper's scheduler: every slot it forecasts green power
+// over a horizon, derives a per-slot capacity of "green job units"
+// (headroom over the estimated mandatory load), and solves a capacitated
+// assignment matching each waiting deferrable job to a slot inside its
+// deadline window, maximizing expected green coverage. Jobs matched to the
+// current slot start; the rest wait for their matched slot (and are
+// re-matched every slot as forecasts firm up).
+type GreenMatch struct {
+	// Horizon is the planning lookahead in slots (default 24).
+	Horizon int
+	// Fraction in [0,1] of deferrable jobs that participate (default 1;
+	// values below 1 make this the Mixed policy).
+	Fraction float64
+	// Solver picks the assignment algorithm (default flow).
+	Solver Solver
+	// EarlinessBonus breaks weight ties toward earlier slots (default
+	// 0.05) so equally green plans do not postpone work pointlessly.
+	EarlinessBonus float64
+	// ReserveSlack is the safety margin before forced starts (default 1).
+	ReserveSlack int
+	// BatteryAware discounts the value of deferral by what the ESD would
+	// salvage anyway: when the battery has room, surplus green is stored
+	// at efficiency sigma, so moving a job into the sun only saves the
+	// (1-sigma) round-trip loss; when the battery is full (or absent),
+	// surplus is lost outright and deferral keeps its full value.
+	BatteryAware bool
+}
+
+// Name implements Policy.
+func (g GreenMatch) Name() string {
+	f := g.fraction()
+	base := "greenmatch"
+	if g.solver() != SolverFlow {
+		base += "-" + string(g.solver())
+	}
+	if g.BatteryAware {
+		base += "-batteryaware"
+	}
+	if f < 1 {
+		return fmt.Sprintf("mixed%.0f%%", f*100)
+	}
+	return base
+}
+
+func (g GreenMatch) horizon() int {
+	if g.Horizon <= 0 {
+		return 24
+	}
+	return g.Horizon
+}
+
+func (g GreenMatch) fraction() float64 {
+	if g.Fraction <= 0 || g.Fraction > 1 {
+		return 1
+	}
+	return g.Fraction
+}
+
+func (g GreenMatch) solver() Solver {
+	if g.Solver == "" {
+		return SolverFlow
+	}
+	return g.Solver
+}
+
+func (g GreenMatch) bonus() float64 {
+	if g.EarlinessBonus <= 0 {
+		return 0.05
+	}
+	return g.EarlinessBonus
+}
+
+func (g GreenMatch) reserve() int {
+	if g.ReserveSlack <= 0 {
+		return 1
+	}
+	return g.ReserveSlack
+}
+
+// Plan implements Policy.
+func (g GreenMatch) Plan(v View) Decision {
+	d := Decision{Consolidate: true, SpinDownDisks: true}
+	h := g.horizon()
+
+	// Per-slot headroom in job units over the horizon, bounded by both the
+	// green power budget and the cluster's placement space: matching more
+	// jobs into a slot than FFD can seat would silently queue them at
+	// deadline time.
+	spaceJobs := v.spaceJobs()
+	capacity := make([]int, h)
+	headroomNow := 0.0
+	for k := 0; k < h; k++ {
+		head := float64(greenAt(v, k)) - float64(v.EstMandatoryPowerW)
+		if k == 0 {
+			headroomNow = head
+		}
+		if head > 0 {
+			capacity[k] = int(head / float64(v.PerJobPowerW))
+		}
+		if capacity[k] > spaceJobs {
+			capacity[k] = spaceJobs
+		}
+	}
+
+	// Partition waiting jobs: non-participants and slack-exhausted jobs
+	// start now; participants enter the matching.
+	var starts []int
+	var parts []part
+	for i, r := range v.Waiting {
+		if !stickyDefer(r.Job.ID, g.fraction()) || r.SlackAt(v.Slot) <= g.reserve() {
+			starts = append(starts, i)
+			continue
+		}
+		parts = append(parts, part{idx: i, latestStart: v.Slot + r.SlackAt(v.Slot), remaining: r.Remaining})
+	}
+
+	// Graceful degradation: when the whole horizon offers no green
+	// capacity (deep overcast, midwinter nights-and-gloom), deferral can
+	// only add suspension and migration overhead without ever cashing in.
+	// Behave like SpinDown instead: start everything, suspend nothing.
+	totalCap := 0
+	for _, c := range capacity {
+		totalCap += c
+	}
+	if totalCap == 0 {
+		d.StartWaiting = allIndices(len(v.Waiting))
+		return d
+	}
+
+	// Jobs that start unconditionally consume current-slot capacity.
+	usedNow := len(starts)
+	if capacity[0] > usedNow {
+		capacity[0] -= usedNow
+	} else {
+		capacity[0] = 0
+	}
+
+	if len(parts) > 0 && g.solver() == SolverFlow {
+		// Fast path: weights depend on a job only through its latest-start
+		// slot, so jobs group into at most horizon+1 interchangeable
+		// classes and the assignment collapses to a small transportation
+		// problem — exactly equivalent to the per-job flow (tested), but
+		// with cost independent of the job count.
+		starts = append(starts, g.planGrouped(v, parts, capacity, h)...)
+	} else if len(parts) > 0 {
+		in := match.Instance{
+			Weights:  make([][]float64, len(parts)),
+			Capacity: capacity,
+		}
+		for j, p := range parts {
+			in.Weights[j] = g.weightRow(v, h, p.latestStart, p.remaining)
+		}
+		var res match.Result
+		var err error
+		switch g.solver() {
+		case SolverGreedy:
+			res, err = match.Greedy(in)
+		case SolverHungarian:
+			res, err = match.Hungarian(in)
+		default:
+			res, err = match.Flow(in)
+		}
+		if err != nil {
+			// A malformed instance is a programming error in this package.
+			panic(fmt.Sprintf("sched: greenmatch built invalid instance: %v", err))
+		}
+		for j, slot := range res.Assign {
+			if slot == 0 {
+				starts = append(starts, parts[j].idx)
+			}
+		}
+	}
+	d.StartWaiting = starts
+
+	// Suspend running participants when the current slot has no green
+	// headroom for them and they can afford to wait. The battery-aware
+	// variant skips this churn while the ESD has meaningful headroom: the
+	// energy the suspension would shift into the sun mostly reaches the
+	// load through the battery anyway (at sigma), so paying save/restore
+	// and consolidation-migration costs to shift it buys almost nothing.
+	runningW := float64(v.PerJobPowerW) * float64(len(v.RunningDeferrable))
+	if headroomNow < runningW {
+		// "Meaningful" ESD: it can carry at least two hours of the
+		// mandatory load, so day-to-night shifting through it works.
+		batteryBuffers := g.BatteryAware && v.BatteryEfficiency > 0 &&
+			float64(v.BatteryUsableWh) >= 2*float64(v.EstMandatoryPowerW)
+		if !batteryBuffers {
+			for i, r := range v.RunningDeferrable {
+				if stickyDefer(r.Job.ID, g.fraction()) && r.SlackAt(v.Slot) > g.reserve() {
+					d.SuspendRunning = append(d.SuspendRunning, i)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// part is one matching participant: an index into View.Waiting plus the
+// last slot at which the job can still start and meet its deadline and its
+// remaining work.
+type part struct {
+	idx         int
+	latestStart int
+	remaining   int
+}
+
+// weightRow builds the per-slot attractiveness row for a job with the given
+// latest start and remaining duration. The score of starting at offset k is
+// the fraction of the job's remaining runtime [k, k+remaining) that the
+// forecast green headroom can cover (each slot contributes up to one
+// job-power's worth), so multi-slot jobs prefer windows where their whole
+// run is green, not just their first hour. The row depends on the job only
+// through (latestStart, remaining), which is what keeps the grouped fast
+// path exact.
+func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
+	if remaining < 1 {
+		remaining = 1
+	}
+	perJob := float64(v.PerJobPowerW)
+	// Battery-aware discount: if the ESD has headroom, the surplus this
+	// job would soak up directly would otherwise still reach the load at
+	// efficiency sigma through the battery — deferral's marginal value per
+	// green slot shrinks to (1 - sigma). A full or absent battery keeps
+	// the full value (surplus would be lost).
+	greenValue := 1.0
+	if g.BatteryAware && v.BatteryUsableWh > 0 && v.BatteryEfficiency > 0 {
+		room := 1 - v.BatterySoC
+		if room > 0 {
+			greenValue = (1 - v.BatteryEfficiency) + v.BatteryEfficiency*v.BatterySoC
+			if greenValue < 0.05 {
+				greenValue = 0.05 // keep a weak preference for direct use
+			}
+		}
+	}
+	row := make([]float64, h)
+	for k := 0; k < h; k++ {
+		if v.Slot+k > latestStart {
+			row[k] = match.Forbidden
+			continue
+		}
+		covered := 0.0
+		for t := k; t < k+remaining && t < h; t++ {
+			head := float64(greenAt(v, t)) - float64(v.EstMandatoryPowerW)
+			if head <= 0 {
+				continue
+			}
+			covered += minf(head, perJob) / perJob
+		}
+		score := covered / float64(remaining) * greenValue
+		row[k] = score + g.bonus()*float64(h-k)/float64(h)
+	}
+	return row
+}
+
+// groupKey identifies a class of interchangeable matching participants.
+type groupKey struct {
+	off int // latest-start offset, clamped to the horizon
+	rem int // remaining duration, clamped to the horizon
+}
+
+// planGrouped solves the matching on the grouped (transportation) instance
+// and returns the View.Waiting indices to start now. Jobs group by
+// (latest-start offset, remaining duration), both clamped to the horizon;
+// all members of a group share a weight row, so the grouped solve is
+// exactly equivalent to the per-job flow.
+func (g GreenMatch) planGrouped(v View, parts []part, capacity []int, h int) []int {
+	groupOf := make(map[groupKey][]int)
+	for i, p := range parts {
+		k := groupKey{off: p.latestStart - v.Slot, rem: p.remaining}
+		if k.off > h-1 {
+			k.off = h - 1
+		}
+		if k.rem > h {
+			k.rem = h
+		}
+		groupOf[k] = append(groupOf[k], i)
+	}
+	keys := make([]groupKey, 0, len(groupOf))
+	for k := range groupOf {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].off != keys[b].off {
+			return keys[a].off < keys[b].off
+		}
+		return keys[a].rem < keys[b].rem
+	})
+	weights := make([][]float64, len(keys))
+	supply := make([]int, len(keys))
+	for gi, k := range keys {
+		weights[gi] = g.weightRow(v, h, v.Slot+k.off, k.rem)
+		supply[gi] = len(groupOf[k])
+	}
+	res, err := match.FlowGrouped(weights, supply, capacity)
+	if err != nil {
+		panic(fmt.Sprintf("sched: greenmatch built invalid grouped instance: %v", err))
+	}
+	var starts []int
+	for gi, k := range keys {
+		n := res.Count[gi][0] // jobs of this group matched to "now"
+		members := groupOf[k]
+		for j := 0; j < n && j < len(members); j++ {
+			starts = append(starts, parts[members[j]].idx)
+		}
+	}
+	return starts
+}
+
+// greenAt reads the forecast with zero-padding past its horizon.
+func greenAt(v View, k int) units.Power {
+	if k < 0 || k >= len(v.GreenForecast) {
+		return 0
+	}
+	return v.GreenForecast[k]
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

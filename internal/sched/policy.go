@@ -1,0 +1,155 @@
+// Package sched defines the scheduling-policy interface of the GreenMatch
+// simulator and implements the policy zoo the evaluation compares:
+//
+//	Baseline      — run everything ASAP, FFD + over-commit, renewable-blind
+//	SpinDown      — Baseline plus coverage-constrained disk spin-down (MAID)
+//	DeferFraction — opportunistic deferral of a configurable fraction of
+//	                deferrable jobs until green power is available
+//	GreenMatch    — the paper's contribution: forecast-driven matching of
+//	                deferrable jobs to horizon slots via min-cost flow
+//	Mixed         — GreenMatch restricted to a fraction of jobs (the
+//	                balanced scheduling+ESD operating point)
+//
+// Policies are pure planners: each slot the simulator hands them a View of
+// the world and they return a Decision. All state a policy keeps must be
+// derivable from job IDs so replanning stays deterministic.
+package sched
+
+import (
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// JobRef is the scheduler-visible state of one job. The simulator owns the
+// underlying lifecycle; policies treat JobRef as read-only.
+type JobRef struct {
+	// Job is the immutable trace record.
+	Job workload.Job
+	// Remaining is the unfinished work in slots.
+	Remaining int
+	// Running reports whether the job is currently placed on a node.
+	Running bool
+	// Node is the current node when running (undefined otherwise).
+	Node int
+}
+
+// SlackAt returns the job's remaining slack at the given slot.
+func (r JobRef) SlackAt(slot int) int {
+	return r.Job.SlackAt(slot, r.Remaining)
+}
+
+// View is everything a policy may consult when planning one slot.
+type View struct {
+	// Slot is the current slot index.
+	Slot int
+	// SlotHours is the slot duration.
+	SlotHours float64
+	// Waiting are deferrable jobs not currently running (newly arrived or
+	// suspended), excluding jobs already promoted to mandatory.
+	Waiting []JobRef
+	// RunningDeferrable are deferrable jobs currently running that the
+	// policy may suspend.
+	RunningDeferrable []JobRef
+	// GreenForecast[k] is predicted renewable power for slot Slot+k.
+	// GreenForecast[0] is the current slot (the genre assumes 1-slot-ahead
+	// prediction is error-free; with the Perfect forecaster it is).
+	GreenForecast []units.Power
+	// EstMandatoryPowerW estimates the power the non-deferrable load will
+	// draw this slot (and, by persistence, near-future slots).
+	EstMandatoryPowerW units.Power
+	// TotalCPUCapacity is the cluster's schedulable CPU in cores,
+	// over-commit included.
+	TotalCPUCapacity float64
+	// EstMandatoryCPU is the CPU (cores) the mandatory load occupies.
+	EstMandatoryCPU float64
+	// RunningDeferrableCPU is the CPU occupied by running deferrable jobs.
+	RunningDeferrableCPU float64
+	// PerJobPowerW is the planning constant: marginal power of one running
+	// deferrable job, including its amortized share of node idle power.
+	PerJobPowerW units.Power
+	// BatterySoC is the ESD state of charge in [0,1] (0 when absent).
+	BatterySoC float64
+	// BatteryUsableWh is the usable ESD capacity (0 when absent).
+	BatteryUsableWh units.Energy
+	// BatteryEfficiency is the ESD charging efficiency sigma (0 when
+	// absent); battery-aware planners use it to price the round trip.
+	BatteryEfficiency float64
+}
+
+// Decision is a policy's plan for the current slot.
+type Decision struct {
+	// StartWaiting lists indices into View.Waiting of jobs to start now.
+	StartWaiting []int
+	// SuspendRunning lists indices into View.RunningDeferrable of jobs to
+	// suspend this slot (they return to the waiting pool).
+	SuspendRunning []int
+	// Consolidate asks the simulator to repack all running jobs onto the
+	// fewest nodes (FFD), migrating as needed.
+	Consolidate bool
+	// SpinDownDisks asks the simulator to park every disk not needed for
+	// replica coverage or by I/O-bound jobs.
+	SpinDownDisks bool
+}
+
+// Policy plans one slot at a time.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Plan returns the decision for the slot described by v.
+	Plan(v View) Decision
+}
+
+// spaceJobs estimates how many additional deferrable jobs the cluster can
+// seat right now, from the CPU not occupied by mandatory or already-running
+// deferrable work, at the average waiting-job CPU demand (1.25 cores when
+// there is nothing to average). Zero when the view carries no capacity
+// information (tests that only exercise the power budget).
+func (v View) spaceJobs() int {
+	if v.TotalCPUCapacity <= 0 {
+		return 1 << 30 // capacity unknown: unbounded
+	}
+	avg := 1.25
+	if len(v.Waiting) > 0 {
+		sum := 0.0
+		for _, r := range v.Waiting {
+			sum += r.Job.CPU
+		}
+		avg = sum / float64(len(v.Waiting))
+	}
+	if avg <= 0 {
+		avg = 1.25
+	}
+	free := v.TotalCPUCapacity - v.EstMandatoryCPU - v.RunningDeferrableCPU
+	if free <= 0 {
+		return 0
+	}
+	return int(free / avg)
+}
+
+// stickyDefer deterministically selects whether a job participates in
+// deferral under a fractional configuration: the same job always gets the
+// same answer, across policies and runs, so fraction sweeps are comparable.
+func stickyDefer(jobID int, fraction float64) bool {
+	if fraction >= 1 {
+		return true
+	}
+	if fraction <= 0 {
+		return false
+	}
+	x := uint64(jobID) * 0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xC2B2AE3D27D4EB4F
+	x ^= x >> 29
+	// Map to [0,1).
+	u := float64(x>>11) / float64(uint64(1)<<53)
+	return u < fraction
+}
+
+// allIndices returns 0..n-1, the "start everything" decision helper.
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

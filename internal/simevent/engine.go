@@ -1,0 +1,201 @@
+// Package simevent implements the discrete-event simulation core used by the
+// GreenMatch simulator: a monotonic virtual clock and a priority queue of
+// timestamped events.
+//
+// The design follows the classic event-list pattern: callers schedule
+// closures at absolute or relative virtual times, and Run drains the queue
+// in (time, priority, insertion) order. Events scheduled at the same time
+// are ordered by a caller-supplied priority (lower runs first) and then by
+// insertion order, which makes slot-boundary processing deterministic:
+// arrivals at a slot boundary can be guaranteed to land before the scheduler
+// tick that consumes them.
+package simevent
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Priority levels for events that share a timestamp. Lower values run first.
+const (
+	// PriArrival is used for job arrivals and other inputs that must be
+	// visible to the scheduler tick at the same timestamp.
+	PriArrival = 0
+	// PriCompletion is used for job/transition completions at a boundary.
+	PriCompletion = 10
+	// PriTick is used for the per-slot scheduler tick.
+	PriTick = 20
+	// PriMetrics is used for end-of-slot accounting after the tick acted.
+	PriMetrics = 30
+)
+
+// Event is a scheduled callback. The zero value is meaningless; use the
+// Engine's Schedule methods.
+type Event struct {
+	Time     float64 // virtual time, in hours since simulation start
+	Priority int
+	Fn       func()
+
+	seq   uint64 // FIFO tiebreak among equal (Time, Priority)
+	index int    // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor. It is not safe for
+// concurrent use; the whole simulator is deliberately sequential so results
+// are bit-reproducible.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// processed counts events executed, for diagnostics and tests.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in hours.
+func (e *Engine) Now() float64 { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// ScheduleAt schedules fn at absolute virtual time t with the given
+// priority. Scheduling in the past is a programming error and panics,
+// because it would silently corrupt causality.
+func (e *Engine) ScheduleAt(t float64, priority int, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simevent: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("simevent: nil event function")
+	}
+	ev := &Event{Time: t, Priority: priority, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter schedules fn delay hours after the current time.
+func (e *Engine) ScheduleAfter(delay float64, priority int, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("simevent: negative delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, priority, fn)
+}
+
+// Cancel removes a pending event so it will not fire. Cancelling an event
+// that already fired or was already cancelled is a no-op returning false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -2
+	ev.Fn = nil
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue empties, Stop is called, or
+// the next event would fire strictly after `until` hours. The clock is left
+// at the time of the last executed event (or at `until` if the queue emptied
+// earlier and advanceToEnd is true via RunUntil).
+func (e *Engine) Run(until float64) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.Time > until {
+			return
+		}
+		heap.Pop(&e.queue)
+		e.now = next.Time
+		fn := next.Fn
+		next.Fn = nil
+		e.processed++
+		fn()
+	}
+}
+
+// RunAll executes every pending event (including those scheduled by events
+// as they run) until the queue is empty or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*Event)
+		e.now = next.Time
+		fn := next.Fn
+		next.Fn = nil
+		e.processed++
+		fn()
+	}
+}
+
+// Ticker registers fn to run every `period` hours starting at `start`, with
+// the given priority, for `count` ticks (count <= 0 means until the engine
+// stops being run past them). It returns a cancel function that halts
+// future ticks.
+func (e *Engine) Ticker(start, period float64, priority, count int, fn func(tick int)) (cancel func()) {
+	if period <= 0 {
+		panic("simevent: ticker period must be positive")
+	}
+	stopped := false
+	var schedule func(i int)
+	schedule = func(i int) {
+		if stopped || (count > 0 && i >= count) {
+			return
+		}
+		e.ScheduleAt(start+float64(i)*period, priority, func() {
+			if stopped {
+				return
+			}
+			fn(i)
+			schedule(i + 1)
+		})
+	}
+	schedule(0)
+	return func() { stopped = true }
+}

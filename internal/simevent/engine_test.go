@@ -1,0 +1,286 @@
+package simevent
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.ScheduleAt(at, PriTick, func() { got = append(got, at) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("executed %d events, want 5", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestPriorityOrderingAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.ScheduleAt(1, PriTick, func() { got = append(got, "tick") })
+	e.ScheduleAt(1, PriArrival, func() { got = append(got, "arrival") })
+	e.ScheduleAt(1, PriMetrics, func() { got = append(got, "metrics") })
+	e.ScheduleAt(1, PriCompletion, func() { got = append(got, "completion") })
+	e.RunAll()
+	want := []string{"arrival", "completion", "tick", "metrics"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOTiebreakWithinPriority(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.ScheduleAt(2, PriTick, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.ScheduleAt(3, PriTick, func() {
+		e.ScheduleAfter(2, PriTick, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 5 {
+		t.Fatalf("nested ScheduleAfter fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(5, PriTick, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(4, PriTick, func() {})
+	})
+	e.RunAll()
+}
+
+func TestNilFnPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	e.ScheduleAt(1, PriTick, nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.ScheduleAfter(-1, PriTick, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.ScheduleAt(1, PriTick, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel should return false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) should return false")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	evs := make([]*Event, 0, 10)
+	for i := 1; i <= 10; i++ {
+		at := float64(i)
+		evs = append(evs, e.ScheduleAt(at, PriTick, func() { got = append(got, at) }))
+	}
+	e.Cancel(evs[4]) // t=5
+	e.Cancel(evs[7]) // t=8
+	e.RunAll()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 5 || v == 8 {
+			t.Fatalf("cancelled event fired: %v", got)
+		}
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("order broken after cancels: %v", got)
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.ScheduleAt(at, PriTick, func() { got = append(got, at) })
+	}
+	e.Run(2.5)
+	if len(got) != 2 {
+		t.Fatalf("Run(2.5) executed %d events, want 2", len(got))
+	}
+	if e.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Len())
+	}
+	e.Run(100)
+	if len(got) != 4 {
+		t.Fatalf("resume failed: %v", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.ScheduleAt(float64(i), PriTick, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("Stop did not halt: count=%d", count)
+	}
+	e.RunAll() // resumable
+	if count != 10 {
+		t.Fatalf("resume after Stop failed: count=%d", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []int
+	var times []float64
+	e.Ticker(0, 1, PriTick, 5, func(i int) {
+		ticks = append(ticks, i)
+		times = append(times, e.Now())
+	})
+	e.RunAll()
+	if len(ticks) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(ticks))
+	}
+	for i := range ticks {
+		if ticks[i] != i || times[i] != float64(i) {
+			t.Fatalf("tick %d at %v", ticks[i], times[i])
+		}
+	}
+}
+
+func TestTickerCancel(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var cancel func()
+	cancel = e.Ticker(0, 1, PriTick, 0, func(i int) {
+		count++
+		if count == 3 {
+			cancel()
+		}
+	})
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("ticker cancel failed: count=%d", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	e.Ticker(0, 0, PriTick, 1, func(int) {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.ScheduleAt(float64(i), PriTick, func() {})
+	}
+	e.RunAll()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+// Property: for any multiset of (time, priority) pairs, execution respects
+// the lexicographic (time, priority, insertion) order.
+func TestOrderingProperty(t *testing.T) {
+	type spec struct {
+		T uint8
+		P uint8
+	}
+	f := func(specs []spec) bool {
+		e := NewEngine()
+		type key struct {
+			t float64
+			p int
+			s int
+		}
+		var got []key
+		for i, sp := range specs {
+			tm := float64(sp.T % 16)
+			pr := int(sp.P % 4)
+			i := i
+			e.ScheduleAt(tm, pr, func() { got = append(got, key{tm, pr, i}) })
+		}
+		e.RunAll()
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.t > b.t {
+				return false
+			}
+			if a.t == b.t && a.p > b.p {
+				return false
+			}
+			if a.t == b.t && a.p == b.p && a.s > b.s {
+				return false
+			}
+		}
+		return len(got) == len(specs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package solar
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// Provider yields the renewable power available during each simulation slot.
+// Implementations must be deterministic for a given construction so repeated
+// experiment runs see identical supply.
+type Provider interface {
+	// Power returns the average power produced during slot i.
+	Power(slot int) units.Power
+	// Slots returns the number of slots the provider covers.
+	Slots() int
+}
+
+// Series is an in-memory per-slot power trace implementing Provider.
+type Series []units.Power
+
+// Power returns the trace value at slot i, or 0 outside the trace.
+func (s Series) Power(slot int) units.Power {
+	if slot < 0 || slot >= len(s) {
+		return 0
+	}
+	return s[slot]
+}
+
+// Slots returns the trace length.
+func (s Series) Slots() int { return len(s) }
+
+// TotalEnergy returns the energy in the trace assuming slotHours per slot.
+func (s Series) TotalEnergy(slotHours float64) units.Energy {
+	var total units.Energy
+	for _, p := range s {
+		total += p.Over(slotHours)
+	}
+	return total
+}
+
+// Peak returns the maximum power in the trace.
+func (s Series) Peak() units.Power {
+	var peak units.Power
+	for _, p := range s {
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// Scale returns a copy of the series with every sample multiplied by f.
+// Scaling a PV trace by f models changing the panel area by the same factor,
+// which is how the panel-area sweep experiment is implemented efficiently.
+func (s Series) Scale(f float64) Series {
+	out := make(Series, len(s))
+	for i, p := range s {
+		out[i] = units.Power(float64(p) * f)
+	}
+	return out
+}
+
+// FarmConfig describes a synthetic PV farm and the week it produces for.
+type FarmConfig struct {
+	// Panel is the installation; see DefaultPanel.
+	Panel Panel
+	// LatitudeDeg is the site latitude in degrees (Nantes is 47.2).
+	LatitudeDeg float64
+	// StartDayOfYear is the day of year of slot 0 (late June is ~173).
+	StartDayOfYear int
+	// Profile selects the stochastic weather regime.
+	Profile Profile
+	// Seed makes the weather process reproducible.
+	Seed int64
+	// Slots is the number of slots to generate.
+	Slots int
+	// SlotHours is the slot duration (typically 1).
+	SlotHours float64
+}
+
+// DefaultFarm returns the reference configuration used across the
+// experiment suite: a Nantes-latitude site in late June, sunny profile,
+// 1-hour slots for one week.
+func DefaultFarm(areaM2 float64) FarmConfig {
+	return FarmConfig{
+		Panel:          DefaultPanel(areaM2),
+		LatitudeDeg:    47.2,
+		StartDayOfYear: 173,
+		Profile:        ProfileSunny,
+		Seed:           1,
+		Slots:          168,
+		SlotHours:      1,
+	}
+}
+
+// Generate produces the per-slot power trace for the farm. Each slot's
+// irradiance is evaluated at the slot midpoint, attenuated by one weather
+// step, and converted by the panel model.
+func Generate(cfg FarmConfig) (Series, error) {
+	if err := cfg.Panel.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("solar: non-positive slot count %d", cfg.Slots)
+	}
+	if cfg.SlotHours <= 0 {
+		return nil, fmt.Errorf("solar: non-positive slot hours %v", cfg.SlotHours)
+	}
+	weather, err := NewWeather(cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Series, cfg.Slots)
+	for i := 0; i < cfg.Slots; i++ {
+		hourOfSim := (float64(i) + 0.5) * cfg.SlotHours
+		day := cfg.StartDayOfYear + int(hourOfSim)/24
+		for day > 365 {
+			day -= 365
+		}
+		hourOfDay := hourOfSim - 24*float64(int(hourOfSim)/24)
+		irr := ClearSkyIrradiance(cfg.LatitudeDeg, day, hourOfDay)
+		att := weather.Step()
+		out[i] = cfg.Panel.Output(irr * att)
+	}
+	return out, nil
+}
+
+// MustGenerate is Generate for configurations known valid at compile time;
+// it panics on error and exists for tests and examples.
+func MustGenerate(cfg FarmConfig) Series {
+	s, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// WriteCSV writes the series as `slot,watts` rows with a header.
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"slot", "watts"}); err != nil {
+		return err
+	}
+	for i, p := range s {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(float64(p), 'f', 3, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series written by WriteCSV. Rows must be in slot order
+// starting at zero; gaps or disorder are reported as errors rather than
+// silently reindexed.
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("solar: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("solar: empty trace")
+	}
+	if rows[0][0] == "slot" {
+		rows = rows[1:]
+	}
+	out := make(Series, 0, len(rows))
+	for i, row := range rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("solar: row %d has %d fields, want 2", i, len(row))
+		}
+		slot, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("solar: row %d slot: %w", i, err)
+		}
+		if slot != i {
+			return nil, fmt.Errorf("solar: row %d has slot %d, want %d (trace must be dense and ordered)", i, slot, i)
+		}
+		w, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("solar: row %d watts: %w", i, err)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("solar: row %d negative power %v", i, w)
+		}
+		out = append(out, units.Power(w))
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEmptyDistribution(t *testing.T) {
+	var d Distribution
+	if d.N() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty distribution should report zeros")
+	}
+	s := d.Summarize()
+	if s.N != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestBasicMoments(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{4, 1, 3, 2} {
+		d.Add(v)
+	}
+	if d.N() != 4 || d.Sum() != 10 || d.Mean() != 2.5 {
+		t.Fatalf("moments wrong: n=%d sum=%v mean=%v", d.N(), d.Sum(), d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 4 {
+		t.Fatalf("min/max wrong: %v %v", d.Min(), d.Max())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 1: 1, 50: 50, 95: 95, 99: 99, 100: 100}
+	for p, want := range cases {
+		if got := d.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	var d Distribution
+	d.Add(1)
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			d.Percentile(p)
+		}()
+	}
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var d Distribution
+	d.Add(10)
+	_ = d.Percentile(50)
+	d.Add(1) // must re-sort
+	if d.Min() != 1 {
+		t.Fatal("sort invalidation broken")
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		s := rng.New(seed, "stats-prop")
+		var d Distribution
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = s.Uniform(-100, 100)
+			d.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		// P0 = min, P100 = max, monotone in p.
+		if d.Percentile(0) != vals[0] || d.Percentile(100) != vals[n-1] {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := d.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5} {
+		d.Add(v)
+	}
+	counts, err := d.Histogram([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (-inf,1]: 0.5, 1  (1,2]: 1.5, 2  (2,3]: none  (3,inf): 5
+	want := []int{2, 2, 0, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestHistogramTotalsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.New(seed, "stats-hist")
+		var d Distribution
+		n := 50
+		for i := 0; i < n; i++ {
+			d.Add(s.Uniform(0, 10))
+		}
+		counts, err := d.Histogram([]float64{2, 4, 6, 8})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	var d Distribution
+	if _, err := d.Histogram([]float64{2, 1}); err == nil {
+		t.Fatal("descending bounds should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	s := d.Summarize()
+	if s.N != 1000 || s.P50 != 500 || s.P95 != 950 || s.P99 != 990 || s.Max != 1000 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-500.5) > 1e-9 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}

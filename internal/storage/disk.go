@@ -1,0 +1,117 @@
+// Package storage models the massive storage substrate GreenMatch schedules
+// against: nodes full of disks, data objects replicated across disks, a
+// replica-coverage constraint that limits how many disks may be spun down,
+// and a Zipf read-traffic model that charges spin-up penalties when cold
+// data is touched.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// DiskID identifies a disk globally as (node, slot-in-node).
+type DiskID struct {
+	Node int
+	Disk int
+}
+
+// String renders the id as n<node>/d<disk>.
+func (id DiskID) String() string { return fmt.Sprintf("n%d/d%d", id.Node, id.Disk) }
+
+// DiskStats accumulates per-disk activity over a run.
+type DiskStats struct {
+	// SpinUps and SpinDowns count completed transitions.
+	SpinUps   int
+	SpinDowns int
+	// TransitionEnergy is the energy spent in spin transients.
+	TransitionEnergy units.Energy
+	// Reads counts read operations served.
+	Reads int
+	// ColdReads counts reads that had to wake a standby disk.
+	ColdReads int
+}
+
+// Disk is one spindle: a power-state machine plus placement membership.
+type Disk struct {
+	// ID locates the disk in the cluster.
+	ID DiskID
+	// Profile is the power model.
+	Profile power.DiskProfile
+	// State is the current power state. Transitions are slot-granular:
+	// spin transients are much shorter than a slot, so the simulator
+	// charges their energy at the transition and holds the steady state
+	// for the rest of the slot.
+	State power.DiskState
+	// Objects is the sorted list of object ids with a replica here.
+	Objects []int
+	// Stats accumulates activity.
+	Stats DiskStats
+	// busy marks the disk as having served I/O in the current slot; the
+	// cluster uses it to decide Active vs Idle draw, and clears it each
+	// slot.
+	busy bool
+}
+
+// SpunUp reports whether the disk platters are spinning (can serve I/O
+// without a wake-up).
+func (d *Disk) SpunUp() bool {
+	return d.State == power.DiskActive || d.State == power.DiskIdle
+}
+
+// SpinDown parks the disk. It is a no-op if already in standby. The
+// transition energy is charged to the disk's stats and returned so the
+// caller can attribute it to the slot's overhead.
+func (d *Disk) SpinDown() units.Energy {
+	if d.State == power.DiskStandby {
+		return 0
+	}
+	d.State = power.DiskStandby
+	d.Stats.SpinDowns++
+	e := d.Profile.SpinDownEnergy()
+	d.Stats.TransitionEnergy += e
+	return e
+}
+
+// SpinUp wakes the disk into the idle state. It is a no-op if already
+// spinning. The transition energy is charged and returned.
+func (d *Disk) SpinUp() units.Energy {
+	if d.SpunUp() {
+		return 0
+	}
+	d.State = power.DiskIdle
+	d.Stats.SpinUps++
+	e := d.Profile.SpinUpEnergy()
+	d.Stats.TransitionEnergy += e
+	return e
+}
+
+// MarkBusy records that the disk serves I/O this slot.
+func (d *Disk) MarkBusy() { d.busy = true }
+
+// ResetSlot clears per-slot activity markers and settles the steady state:
+// a busy spinning disk was Active, a quiet spinning disk Idle.
+func (d *Disk) ResetSlot() {
+	if d.SpunUp() {
+		if d.busy {
+			d.State = power.DiskActive
+		} else {
+			d.State = power.DiskIdle
+		}
+	}
+	d.busy = false
+}
+
+// SlotDraw returns the steady-state power draw for the current slot, given
+// whether the disk served I/O.
+func (d *Disk) SlotDraw() units.Power {
+	if !d.SpunUp() {
+		return d.Profile.Draw(power.DiskStandby)
+	}
+	if d.busy {
+		return d.Profile.Draw(power.DiskActive)
+	}
+	return d.Profile.Draw(power.DiskIdle)
+}

@@ -1,0 +1,519 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 6
+	cfg.Objects = 200
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Nodes = 0 }),
+		mut(func(c *Config) { c.CPUPerNode = 0 }),
+		mut(func(c *Config) { c.RAMPerNodeGB = -1 }),
+		mut(func(c *Config) { c.Objects = -1 }),
+		mut(func(c *Config) { c.Replicas = 0 }),
+		mut(func(c *Config) { c.Replicas = 10000 }),
+		mut(func(c *Config) { c.NodeProfile.DisksPerNode = 0 }),
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestPlacementReplicaInvariants(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	for obj := 0; obj < c.Config().Objects; obj++ {
+		reps := c.Replicas(obj)
+		if len(reps) != c.Config().Replicas {
+			t.Fatalf("object %d has %d replicas, want %d", obj, len(reps), c.Config().Replicas)
+		}
+		seenDisk := make(map[DiskID]bool)
+		seenNode := make(map[int]bool)
+		for _, id := range reps {
+			if seenDisk[id] {
+				t.Fatalf("object %d placed twice on %v", obj, id)
+			}
+			seenDisk[id] = true
+			if seenNode[id.Node] {
+				t.Fatalf("object %d has two replicas on node %d", obj, id.Node)
+			}
+			seenNode[id.Node] = true
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a := MustNewCluster(smallConfig())
+	b := MustNewCluster(smallConfig())
+	for obj := 0; obj < a.Config().Objects; obj++ {
+		ra, rb := a.Replicas(obj), b.Replicas(obj)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("placement differs for object %d", obj)
+			}
+		}
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Objects = 3000
+	c := MustNewCluster(cfg)
+	total := 0
+	min, max := 1<<30, 0
+	for _, n := range c.Nodes() {
+		for _, d := range n.Disks {
+			k := len(d.Objects)
+			total += k
+			if k < min {
+				min = k
+			}
+			if k > max {
+				max = k
+			}
+		}
+	}
+	want := cfg.Objects * cfg.Replicas
+	if total != want {
+		t.Fatalf("total replica count %d, want %d", total, want)
+	}
+	mean := float64(total) / float64(c.TotalDisks())
+	if float64(max) > 2*mean || float64(min) < mean/2 {
+		t.Errorf("placement imbalanced: min=%d max=%d mean=%.1f", min, max, mean)
+	}
+}
+
+func TestPlacementSingleNodeCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.Objects = 50
+	cfg.Replicas = 3 // cannot be node-distinct; must still be disk-distinct
+	c := MustNewCluster(cfg)
+	for obj := 0; obj < 50; obj++ {
+		reps := c.Replicas(obj)
+		if len(reps) != 3 {
+			t.Fatalf("object %d has %d replicas", obj, len(reps))
+		}
+		seen := make(map[DiskID]bool)
+		for _, id := range reps {
+			if seen[id] {
+				t.Fatalf("duplicate disk for object %d", obj)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestMinimalCoverCoversEverything(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	cover := c.MinimalCover()
+	active := make(map[DiskID]bool)
+	for _, id := range cover {
+		active[id] = true
+	}
+	if !c.CoverageOK(active) {
+		t.Fatal("MinimalCover does not cover all objects")
+	}
+	if len(cover) == 0 || len(cover) >= c.TotalDisks() {
+		t.Fatalf("cover size %d out of expected range (0, %d)", len(cover), c.TotalDisks())
+	}
+}
+
+func TestMinimalCoverSavesDisks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Objects = 100 // sparse: many disks should be dispensable
+	c := MustNewCluster(cfg)
+	cover := c.MinimalCover()
+	if len(cover) > c.TotalDisks()/2 {
+		t.Errorf("cover of %d objects uses %d/%d disks; greedy looks broken",
+			cfg.Objects, len(cover), c.TotalDisks())
+	}
+}
+
+func TestMinimalCoverProperty(t *testing.T) {
+	f := func(objRaw uint8, nodeRaw uint8, repRaw uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Nodes = int(nodeRaw%5) + 2
+		cfg.NodeProfile.DisksPerNode = 4
+		cfg.Objects = int(objRaw)%120 + 1
+		cfg.Replicas = int(repRaw%2) + 1
+		c := MustNewCluster(cfg)
+		cover := c.MinimalCover()
+		active := make(map[DiskID]bool, len(cover))
+		for _, id := range cover {
+			active[id] = true
+		}
+		return c.CoverageOK(active)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageFailsWhenNodeUnpowered(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	cover := c.MinimalCover()
+	active := make(map[DiskID]bool)
+	for _, id := range cover {
+		active[id] = true
+	}
+	// Power off a node hosting part of the cover; coverage must break for
+	// objects whose only covered replica was there (r=3 on 6 nodes means
+	// some object will lose its covering disk).
+	c.PowerOffNode(cover[0].Node)
+	if c.CoverageOK(active) {
+		// Possible if other replicas of every affected object are in the
+		// active set; force the issue by keeping only the cover subset on
+		// that node.
+		t.Skip("cover redundancy absorbed the node loss for this layout")
+	}
+}
+
+func TestCoverOnNodes(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	all := make(map[int]bool)
+	for _, n := range c.Nodes() {
+		all[n.ID] = true
+	}
+	cover, ok := c.CoverOnNodes(all)
+	if !ok || len(cover) == 0 {
+		t.Fatal("full node set must cover")
+	}
+	// A single node cannot host a replica of every object at r=3/6 nodes.
+	_, ok = c.CoverOnNodes(map[int]bool{0: true})
+	if ok {
+		t.Error("single node should not cover a 6-node r=3 layout")
+	}
+}
+
+func TestApplyDiskPlan(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	cover := c.MinimalCover()
+	keep := make(map[DiskID]bool)
+	for _, id := range cover {
+		keep[id] = true
+	}
+	e := c.ApplyDiskPlan(keep)
+	if e <= 0 {
+		t.Fatal("spinning down disks should charge transition energy")
+	}
+	for _, n := range c.Nodes() {
+		for _, d := range n.Disks {
+			if keep[d.ID] && !d.SpunUp() {
+				t.Fatalf("kept disk %v not spinning", d.ID)
+			}
+			if !keep[d.ID] && d.SpunUp() {
+				t.Fatalf("dropped disk %v still spinning", d.ID)
+			}
+		}
+	}
+	// Idempotent: reapplying costs nothing.
+	if e2 := c.ApplyDiskPlan(keep); e2 != 0 {
+		t.Fatalf("reapplying identical plan charged %v", e2)
+	}
+}
+
+func TestNodePowerCycle(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	e := c.PowerOffNode(2)
+	if e <= 0 {
+		t.Fatal("power-off should charge transition energy")
+	}
+	if c.Node(2).Powered {
+		t.Fatal("node still powered")
+	}
+	if c.PowerOffNode(2) != 0 {
+		t.Fatal("double power-off should be free")
+	}
+	e = c.PowerOnNode(2)
+	if e <= 0 {
+		t.Fatal("power-on should charge boot energy")
+	}
+	if !c.Node(2).Powered {
+		t.Fatal("node not powered after boot")
+	}
+	if c.PowerOnNode(2) != 0 {
+		t.Fatal("double power-on should be free")
+	}
+	if c.Node(2).Boots != 1 || c.Node(2).Shutdowns != 1 {
+		t.Fatalf("transition counters wrong: %+v", c.Node(2))
+	}
+}
+
+func TestSlotDraw(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	allOn := c.SlotDraw(nil)
+	np := c.Config().NodeProfile
+	// All nodes idle, all disks idle.
+	want := units.Power(float64(np.Server.IdleW)*6 + float64(np.Disk.IdleW)*float64(6*np.DisksPerNode))
+	if allOn != want {
+		t.Fatalf("idle draw %v, want %v", allOn, want)
+	}
+	// Full CPU on node 0 adds peak-idle difference.
+	withLoad := c.SlotDraw(map[int]float64{0: 1})
+	if withLoad != want+(np.Server.PeakW-np.Server.IdleW) {
+		t.Fatalf("loaded draw %v", withLoad)
+	}
+	// Powering a node off removes its full contribution.
+	c.PowerOffNode(5)
+	offDraw := c.SlotDraw(nil)
+	if offDraw >= allOn {
+		t.Fatal("powering off a node did not reduce draw")
+	}
+}
+
+func TestDiskSlotLifecycle(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	d := c.Node(0).Disks[0]
+	if !d.SpunUp() {
+		t.Fatal("disks start idle (spinning)")
+	}
+	d.MarkBusy()
+	if d.SlotDraw() != d.Profile.ActiveW {
+		t.Fatal("busy spinning disk should draw active power")
+	}
+	d.ResetSlot()
+	if d.State != power.DiskActive {
+		t.Fatal("busy disk settles to active")
+	}
+	d.ResetSlot()
+	if d.State != power.DiskIdle {
+		t.Fatal("quiet disk settles to idle")
+	}
+	e := d.SpinDown()
+	if e != d.Profile.SpinDownEnergy() {
+		t.Fatalf("spin-down energy %v", e)
+	}
+	if d.SlotDraw() != d.Profile.StandbyW {
+		t.Fatal("standby draw wrong")
+	}
+	if d.SpinDown() != 0 {
+		t.Fatal("double spin-down should be free")
+	}
+	if d.SpinUp() != d.Profile.SpinUpEnergy() {
+		t.Fatal("spin-up energy wrong")
+	}
+	if d.Stats.SpinUps != 1 || d.Stats.SpinDowns != 1 {
+		t.Fatalf("stats wrong: %+v", d.Stats)
+	}
+}
+
+func TestReadModelServesFromSpinning(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	m, err := NewReadModel(c, 50, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Step(c)
+	if res.Reads == 0 {
+		t.Fatal("no reads issued")
+	}
+	if res.ColdReads != 0 || res.WakeEnergy != 0 {
+		t.Fatalf("all disks spinning but cold reads occurred: %+v", res)
+	}
+	if res.Unserviceable != 0 {
+		t.Fatalf("unserviceable reads on a fully powered cluster: %+v", res)
+	}
+}
+
+func TestReadModelWakesStandbyDisks(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	// Park everything.
+	for _, n := range c.Nodes() {
+		for _, d := range n.Disks {
+			d.SpinDown()
+		}
+	}
+	m, _ := NewReadModel(c, 100, 0.9, 7)
+	res := m.Step(c)
+	if res.ColdReads == 0 {
+		t.Fatal("expected cold reads on a fully parked cluster")
+	}
+	if res.WakeEnergy <= 0 {
+		t.Fatal("cold reads must charge wake energy")
+	}
+	if res.LatencyPenaltySeconds <= 0 {
+		t.Fatal("cold reads must register latency penalty")
+	}
+	// Popular objects' disks are now awake: a second slot has fewer colds.
+	res2 := m.Step(c)
+	if res2.ColdReads >= res.ColdReads {
+		t.Logf("warning: second slot cold reads %d >= first %d (possible but unlikely)", res2.ColdReads, res.ColdReads)
+	}
+}
+
+func TestReadModelUnserviceable(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	for _, n := range c.Nodes() {
+		c.PowerOffNode(n.ID)
+	}
+	m, _ := NewReadModel(c, 50, 0.9, 7)
+	res := m.Step(c)
+	if res.Reads > 0 && res.Unserviceable != res.Reads {
+		t.Fatalf("all nodes off: want all %d reads unserviceable, got %d", res.Reads, res.Unserviceable)
+	}
+}
+
+func TestReadModelZeroRate(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	m, _ := NewReadModel(c, 0, 0.9, 7)
+	res := m.Step(c)
+	if res.Reads != 0 {
+		t.Fatal("zero rate should issue no reads")
+	}
+	if _, err := NewReadModel(c, -1, 0.9, 7); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestDiskStatsTotal(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	c.Node(0).Disks[0].SpinDown()
+	c.Node(1).Disks[2].SpinDown()
+	tot := c.DiskStatsTotal()
+	if tot.SpinDowns != 2 {
+		t.Fatalf("total spin-downs %d, want 2", tot.SpinDowns)
+	}
+	if tot.TransitionEnergy <= 0 {
+		t.Fatal("transition energy not aggregated")
+	}
+}
+
+func TestPoweredNodes(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	c.PowerOffNode(1)
+	c.PowerOffNode(3)
+	got := c.PoweredNodes()
+	want := []int{0, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("powered = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("powered = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	lost := c.FailNode(2)
+	if lost <= 0 {
+		t.Fatal("failing a node should report degraded objects")
+	}
+	n := c.Node(2)
+	if !n.Failed || n.Powered {
+		t.Fatal("failed node should be unpowered and marked failed")
+	}
+	if n.Failures != 1 {
+		t.Fatalf("failure counter %d", n.Failures)
+	}
+	for _, d := range n.Disks {
+		if d.SpunUp() {
+			t.Fatal("disks on a crashed node cannot be spinning")
+		}
+		// No managed transition energy was charged.
+		if d.Stats.SpinDowns != 0 {
+			t.Fatal("crash must not count as an orderly spin-down")
+		}
+	}
+	// Double failure is a no-op.
+	if c.FailNode(2) != 0 {
+		t.Fatal("double FailNode should report 0")
+	}
+	// Failed nodes refuse to boot.
+	if c.PowerOnNode(2) != 0 || c.Node(2).Powered {
+		t.Fatal("failed node must not power on")
+	}
+	// Repair restores bootability.
+	c.RepairNode(2)
+	if c.Node(2).Failed {
+		t.Fatal("repair did not clear the failure")
+	}
+	if e := c.PowerOnNode(2); e <= 0 || !c.Node(2).Powered {
+		t.Fatalf("repaired node should boot (energy %v)", e)
+	}
+}
+
+func TestPartialCoverOnNodes(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	all := make(map[int]bool)
+	for _, n := range c.Nodes() {
+		all[n.ID] = true
+	}
+	cover, uncoverable := c.PartialCoverOnNodes(all)
+	if uncoverable != 0 {
+		t.Fatalf("healthy cluster has %d uncoverable objects", uncoverable)
+	}
+	if len(cover) == 0 {
+		t.Fatal("empty cover")
+	}
+	// Restrict to a single node: most objects become uncoverable, but the
+	// cover still covers what it can.
+	one := map[int]bool{0: true}
+	cover1, unc1 := c.PartialCoverOnNodes(one)
+	if unc1 == 0 {
+		t.Fatal("single node should leave objects uncoverable at r=3/6 nodes")
+	}
+	covered := 0
+	active := make(map[DiskID]bool)
+	for _, id := range cover1 {
+		if id.Node != 0 {
+			t.Fatalf("cover used disallowed node: %v", id)
+		}
+		active[id] = true
+	}
+	for obj := 0; obj < c.Config().Objects; obj++ {
+		for _, id := range c.Replicas(obj) {
+			if active[id] {
+				covered++
+				break
+			}
+		}
+	}
+	if covered+unc1 != c.Config().Objects {
+		t.Fatalf("partial cover accounting broken: covered=%d uncoverable=%d objects=%d",
+			covered, unc1, c.Config().Objects)
+	}
+}
+
+func TestCoverageExcludesFailedNodes(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	c.FailNode(0)
+	healthy := make(map[int]bool)
+	for _, n := range c.Nodes() {
+		if !n.Failed {
+			healthy[n.ID] = true
+		}
+	}
+	cover, unc := c.PartialCoverOnNodes(healthy)
+	for _, id := range cover {
+		if id.Node == 0 {
+			t.Fatal("cover placed on failed node")
+		}
+	}
+	// r=3 across 6 nodes: losing one node cannot strand any object.
+	if unc != 0 {
+		t.Fatalf("%d objects uncoverable after a single failure at r=3", unc)
+	}
+}

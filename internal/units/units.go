@@ -1,0 +1,158 @@
+// Package units provides the typed physical quantities used throughout the
+// GreenMatch simulator: electrical power in watts and energy in watt-hours.
+//
+// The simulator is slot-based, so most conversions are of the form
+// "power held constant over h hours" <-> "energy". Using distinct named
+// types for Power and Energy makes it a compile-time error to, for example,
+// add a power to an energy, which is the single most common class of bug in
+// hand-rolled energy accounting code.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Power is an instantaneous electrical power in watts (W).
+type Power float64
+
+// Energy is an amount of electrical energy in watt-hours (Wh).
+type Energy float64
+
+// Common scale constants.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1000
+	Megawatt Power = 1000 * 1000
+
+	WattHour     Energy = 1
+	KilowattHour Energy = 1000
+	MegawattHour Energy = 1000 * 1000
+)
+
+// Over returns the energy produced or consumed by holding power p constant
+// for the given number of hours.
+func (p Power) Over(hours float64) Energy {
+	return Energy(float64(p) * hours)
+}
+
+// Rate returns the constant power that would produce energy e over the given
+// number of hours. Rate panics if hours is zero or negative because a
+// zero-length slot has no meaningful average power.
+func (e Energy) Rate(hours float64) Power {
+	if hours <= 0 {
+		panic(fmt.Sprintf("units: Energy.Rate called with non-positive hours %v", hours))
+	}
+	return Power(float64(e) / hours)
+}
+
+// KWh reports e in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) / 1000 }
+
+// KW reports p in kilowatts.
+func (p Power) KW() float64 { return float64(p) / 1000 }
+
+// String formats the power with an automatically chosen SI prefix.
+func (p Power) String() string {
+	v := float64(p)
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3f MW", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3f kW", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f W", v)
+	}
+}
+
+// String formats the energy with an automatically chosen SI prefix.
+func (e Energy) String() string {
+	v := float64(e)
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3f MWh", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3f kWh", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f Wh", v)
+	}
+}
+
+// MinPower returns the smaller of a and b.
+func MinPower(a, b Power) Power {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxPower returns the larger of a and b.
+func MaxPower(a, b Power) Power {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinEnergy returns the smaller of a and b.
+func MinEnergy(a, b Energy) Energy {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxEnergy returns the larger of a and b.
+func MaxEnergy(a, b Energy) Energy {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ClampPower restricts p to the inclusive range [lo, hi].
+func ClampPower(p, lo, hi Power) Power {
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// ClampEnergy restricts e to the inclusive range [lo, hi].
+func ClampEnergy(e, lo, hi Energy) Energy {
+	if e < lo {
+		return lo
+	}
+	if e > hi {
+		return hi
+	}
+	return e
+}
+
+// NonNegE returns e, floored at zero. It exists because energy settlements
+// subtract measured quantities and tiny negative residues from floating-point
+// rounding must not propagate into accumulators.
+func NonNegE(e Energy) Energy {
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// NonNegP returns p, floored at zero.
+func NonNegP(p Power) Power {
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// ApproxEqual reports whether a and b differ by at most tol watt-hours.
+func ApproxEqual(a, b Energy, tol float64) bool {
+	return math.Abs(float64(a-b)) <= tol
+}

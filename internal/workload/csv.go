@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+var csvHeader = []string{"id", "class", "submit", "duration", "deadline", "cpu", "ram_gb", "io_bound", "util_mean"}
+
+// WriteCSV writes the trace with a header row, one job per row.
+func (tr Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, j := range tr {
+		row := []string{
+			strconv.Itoa(j.ID),
+			j.Class.String(),
+			strconv.Itoa(j.Submit),
+			strconv.Itoa(j.Duration),
+			strconv.Itoa(j.Deadline),
+			strconv.FormatFloat(j.CPU, 'f', 4, 64),
+			strconv.FormatFloat(j.RAMGB, 'f', 4, 64),
+			strconv.FormatBool(j.IOBound),
+			strconv.FormatFloat(j.UtilMean, 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV and validates it.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	if rows[0][0] == "id" {
+		rows = rows[1:]
+	}
+	tr := make(Trace, 0, len(rows))
+	for i, row := range rows {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("workload: row %d has %d fields, want %d", i, len(row), len(csvHeader))
+		}
+		var j Job
+		if j.ID, err = strconv.Atoi(row[0]); err != nil {
+			return nil, fmt.Errorf("workload: row %d id: %w", i, err)
+		}
+		if j.Class, err = ParseClass(row[1]); err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i, err)
+		}
+		if j.Submit, err = strconv.Atoi(row[2]); err != nil {
+			return nil, fmt.Errorf("workload: row %d submit: %w", i, err)
+		}
+		if j.Duration, err = strconv.Atoi(row[3]); err != nil {
+			return nil, fmt.Errorf("workload: row %d duration: %w", i, err)
+		}
+		if j.Deadline, err = strconv.Atoi(row[4]); err != nil {
+			return nil, fmt.Errorf("workload: row %d deadline: %w", i, err)
+		}
+		if j.CPU, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d cpu: %w", i, err)
+		}
+		if j.RAMGB, err = strconv.ParseFloat(row[6], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d ram: %w", i, err)
+		}
+		if j.IOBound, err = strconv.ParseBool(row[7]); err != nil {
+			return nil, fmt.Errorf("workload: row %d io_bound: %w", i, err)
+		}
+		if j.UtilMean, err = strconv.ParseFloat(row[8], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d util_mean: %w", i, err)
+		}
+		tr = append(tr, j)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
