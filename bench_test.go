@@ -11,6 +11,8 @@ package greenmatch
 // throughput) follow the experiment benches.
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -29,7 +31,9 @@ import (
 // benchParams is the scale experiments run at under the bench harness:
 // large enough to preserve every qualitative shape (the expt test suite
 // asserts them at 0.2), small enough that the full `-bench=.` sweep
-// completes in minutes.
+// completes in minutes. Workers is left at the zero value, so each
+// experiment's grid sweep fans out across every core — the same default
+// `gmexp -all` runs with.
 func benchParams() ExperimentParams { return ExperimentParams{Scale: 0.2} }
 
 // runExperiment executes one registry entry per iteration and attaches the
@@ -218,4 +222,45 @@ func BenchmarkSimulatorSlotThroughput(b *testing.B) {
 		slots += res.Slots
 	}
 	b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+}
+
+// BenchmarkSweepThroughput measures experiment-sweep throughput (full
+// simulation runs per second) through the parallel runner, at one worker
+// (the historical sequential path) versus one worker per core. On a
+// multi-core machine the j=GOMAXPROCS case should approach a linear
+// multiple of j=1; on a single-core machine the two converge.
+func BenchmarkSweepThroughput(b *testing.B) {
+	mkCfg := func() Config {
+		cfg := DefaultConfig()
+		cl := cfg.Cluster
+		cl.Nodes = 6
+		cl.Objects = 600
+		cfg.Cluster = cl
+		cfg.Trace = workload.MustGenerate(workload.Scaled(0.2))
+		cfg.Green = DefaultGreen(33)
+		cfg.ReadsPerSlot = 40
+		cfg.Policy = GreenMatch{}
+		return cfg
+	}
+	const points = 8
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			runs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]SweepJob, points)
+				for k := range jobs {
+					jobs[k] = SweepJob{
+						Label: fmt.Sprintf("point-%d", k),
+						Run:   func() (any, error) { return Run(mkCfg()) },
+					}
+				}
+				if err := SweepErrs(Sweep(jobs, SweepOptions{Workers: workers})); err != nil {
+					b.Fatal(err)
+				}
+				runs += points
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
 }

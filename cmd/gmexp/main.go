@@ -28,6 +28,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
 		html  = flag.String("html", "", "also write a self-contained HTML report (tables + SVG charts) to this file")
+		jobs  = flag.Int("j", 0, "sweep workers per experiment: 0 = one per core (GREENMATCH_WORKERS overrides), 1 = sequential")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	p := expt.Params{Scale: *scale, Seed: *seed}
+	p := expt.Params{Scale: *scale, Seed: *seed, Workers: *jobs}
 	var sections []report.Section
 	for _, e := range toRun {
 		fmt.Printf("== %s (%s): %s ==\n", e.ID, e.Kind, e.Title)

@@ -1,5 +1,7 @@
 // Policy comparison: run the full policy zoo on the same scenario and print
-// the headline table (a small-scale live version of experiment E8).
+// the headline table (a small-scale live version of experiment E8). The
+// runs are independent, so they fan out across every core through the
+// public sweep API; the table rows still come back in policy order.
 //
 // Run with: go run ./examples/policycompare
 package main
@@ -21,31 +23,45 @@ func main() {
 		greenmatch.GreenMatch{},
 	}
 
+	// The scenario substrate is built once and shared read-only by every
+	// concurrent run (the documented Config contract).
+	trace, err := greenmatch.GenerateWorkload(0.25, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	green := greenmatch.DefaultGreen(41.4)
+
+	jobs := make([]greenmatch.SweepJob, len(policies))
+	for i, policy := range policies {
+		jobs[i] = greenmatch.SweepJob{
+			Label: policy.Name(),
+			Run: func() (any, error) {
+				cfg := greenmatch.DefaultConfig()
+				cl := cfg.Cluster
+				cl.Nodes = 8
+				cl.Objects = 800
+				cfg.Cluster = cl
+				cfg.Trace = trace
+				cfg.Green = green
+				cfg.BatteryCapacityWh = 10_000
+				cfg.ReadsPerSlot = 50
+				cfg.Policy = policy
+				return greenmatch.Run(cfg)
+			},
+		}
+	}
+	outs := greenmatch.Sweep(jobs, greenmatch.SweepOptions{})
+	if err := greenmatch.SweepErrs(outs); err != nil {
+		log.Fatal(err)
+	}
+
 	table := &greenmatch.Table{
 		Title: "Policy comparison — 1 week, 8-node storage cluster, 41 m2 PV, 10 kWh LI battery",
 		Headers: []string{"policy", "brown_kwh", "green_used_kwh", "green_util_%",
 			"misses", "mean_wait", "migrations", "node_hours", "disk_spindowns"},
 	}
-	for _, policy := range policies {
-		cfg := greenmatch.DefaultConfig()
-		cl := cfg.Cluster
-		cl.Nodes = 8
-		cl.Objects = 800
-		cfg.Cluster = cl
-		trace, err := greenmatch.GenerateWorkload(0.25, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg.Trace = trace
-		cfg.Green = greenmatch.DefaultGreen(41.4)
-		cfg.BatteryCapacityWh = 10_000
-		cfg.ReadsPerSlot = 50
-		cfg.Policy = policy
-
-		res, err := greenmatch.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, out := range outs {
+		res := out.Value.(*greenmatch.Result)
 		e := res.Energy
 		table.AddRow(res.Policy,
 			e.Brown.KWh(),

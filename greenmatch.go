@@ -30,6 +30,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/forecast"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/solar"
@@ -90,9 +91,35 @@ type (
 type (
 	// Experiment is one reproducible figure/table of the evaluation.
 	Experiment = expt.Experiment
-	// ExperimentParams scales an experiment (Scale 1.0 = paper scale).
+	// ExperimentParams scales an experiment (Scale 1.0 = paper scale) and
+	// bounds its sweep worker pool (Workers: 0 = one per core, 1 =
+	// sequential).
 	ExperimentParams = expt.Params
 )
+
+// Parallel sweep runner: fan independent simulation runs out across cores.
+// Results come back in submission order; errors are aggregated per job,
+// not fail-fast; worker panics are captured as errors.
+type (
+	// SweepJob is one unit of sweep work.
+	SweepJob = runner.Job
+	// SweepOutcome is one job's result slot.
+	SweepOutcome = runner.Outcome
+	// SweepOptions bounds the pool (Workers: 0 = one per core with a
+	// GREENMATCH_WORKERS env override, 1 = run inline sequentially).
+	SweepOptions = runner.Options
+)
+
+// Sweep runs every job through a bounded worker pool and returns the
+// outcomes in submission order. A Config may be shared by concurrent
+// jobs — Run treats it as read-only.
+func Sweep(jobs []SweepJob, opts SweepOptions) []SweepOutcome {
+	return runner.Sweep(jobs, opts)
+}
+
+// SweepErrs aggregates the failed outcomes of a sweep into one labeled
+// error (nil when every job succeeded).
+func SweepErrs(outs []SweepOutcome) error { return runner.Errs(outs) }
 
 // ESD technologies (see BatterySpecFor).
 const (

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// tinyConfig returns a quick scenario small enough for short-mode race
+// runs yet still exercising spin-down, consolidation, the battery and the
+// read model.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cl := storage.DefaultConfig()
+	cl.Nodes = 4
+	cl.Objects = 120
+	cfg.Cluster = cl
+	gen := workload.Scaled(0.05)
+	cfg.Trace = workload.MustGenerate(gen)
+	cfg.Green = DefaultGreen(10)
+	cfg.ReadsPerSlot = 10
+	cfg.BatteryCapacityWh = 2000
+	cfg.Policy = sched.GreenMatch{}
+	return cfg
+}
+
+// TestConcurrentRunsShareNothing runs many simulations of the SAME Config
+// value concurrently and asserts every run reproduces the sequential
+// result. It runs in short mode on purpose: together with the race
+// detector it is the tier-1 guard for the concurrency contract documented
+// on Run ("a Config may be shared across concurrent Runs; Run never
+// mutates it").
+func TestConcurrentRunsShareNothing(t *testing.T) {
+	cfg := tinyConfig()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const parallel = 8
+	results := make([]*Result, parallel)
+	errs := make([]error, parallel)
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for i := 0; i < parallel; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < parallel; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d failed: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("concurrent run %d diverged from the sequential result:\n got %+v\nwant %+v",
+				i, results[i], want)
+		}
+	}
+}
+
+// TestConcurrentRunsMixedPolicies races distinct configs (different
+// policies sharing the same Trace and Green series) to catch read-only
+// violations on the shared substrate slices.
+func TestConcurrentRunsMixedPolicies(t *testing.T) {
+	base := tinyConfig()
+	pols := []sched.Policy{
+		sched.Baseline{}, sched.SpinDown{},
+		sched.DeferFraction{Fraction: 0.5}, sched.GreenMatch{},
+	}
+
+	run := func() []*Result {
+		out := make([]*Result, len(pols))
+		var wg sync.WaitGroup
+		wg.Add(len(pols))
+		for i, pol := range pols {
+			go func(i int, pol sched.Policy) {
+				defer wg.Done()
+				cfg := base
+				cfg.Policy = pol
+				res, err := Run(cfg)
+				if err != nil {
+					t.Errorf("policy %s: %v", pol.Name(), err)
+					return
+				}
+				out[i] = res
+			}(i, pol)
+		}
+		wg.Wait()
+		return out
+	}
+
+	first := run()
+	second := run()
+	for i := range pols {
+		if first[i] == nil || second[i] == nil {
+			continue // already reported
+		}
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Errorf("policy %s: repeated concurrent runs disagree", pols[i].Name())
+		}
+	}
+}

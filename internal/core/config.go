@@ -30,6 +30,12 @@ import (
 )
 
 // Config assembles one simulation run.
+//
+// A Config may be shared across concurrent Runs (the parallel sweep runner
+// does exactly that): Run treats the Config and everything reachable from
+// it — Trace, the Green provider, Tiers — as read-only. Policy and
+// Forecaster implementations must be stateless planners for this to hold;
+// every implementation shipped here is.
 type Config struct {
 	// SlotHours is the slot duration (default 1).
 	SlotHours float64

@@ -82,8 +82,10 @@ type Simulator struct {
 	fullCoverNodes map[int]bool
 	// coverCache memoizes CoverOnNodes results by powered-node set: the
 	// same node sets recur across slots and greedy set cover is the
-	// simulator's hottest path.
+	// simulator's hottest path. coverKey is the reusable key scratch
+	// buffer (one byte per node), so cache hits allocate nothing.
 	coverCache map[string][]storage.DiskID
+	coverKey   []byte
 
 	acct      metrics.EnergyAccount
 	sla       metrics.SLAAccount
@@ -162,7 +164,9 @@ func New(cfg Config) (*Simulator, error) {
 }
 
 // Run executes the simulation to completion and returns the result.
-// A Simulator is single-use.
+// A Simulator is single-use and must not itself be shared between
+// goroutines, but distinct Simulators may Run concurrently — see the
+// concurrency contract on the package-level Run.
 func (s *Simulator) Run() (*Result, error) {
 	// Arrivals ride the event engine at PriArrival so a same-slot tick
 	// (PriTick) sees them.
@@ -222,6 +226,19 @@ func (s *Simulator) Run() (*Result, error) {
 }
 
 // Run is the one-shot convenience: build a simulator for cfg and execute it.
+//
+// Concurrency contract: a Config may be shared across concurrent Runs; Run
+// never mutates it. The Config is received by value, every reference-typed
+// field it carries (the Trace slice, a solar.Series supply, Cluster.Tiers)
+// is treated strictly read-only, and all mutable simulation state — the
+// storage.Cluster, battery.Battery, read model with its rng streams, the
+// event engine, job lifecycle records and the cover cache — is built fresh
+// per Simulator inside New. Policies and Forecasters are shared by value
+// too and must stay pure planners (all implementations in this repository
+// are stateless); a custom Policy or Forecaster with internal mutable
+// state must not be shared across concurrent Runs. Under this contract
+// runs are deterministic: the same Config produces the same Result
+// regardless of how many Runs execute in parallel.
 func Run(cfg Config) (*Result, error) {
 	sim, err := New(cfg)
 	if err != nil {
@@ -756,20 +773,29 @@ func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
 // coveredOn is CoverOnNodes with memoization by node-set key (the failed
 // set participates in the key: a node set covers differently depending on
 // which nodes are crashed). A nil result (set cannot cover) is cached too,
-// as a sentinel.
+// as a sentinel. The key is built in a per-Simulator scratch buffer and
+// only materialized into a string on a cache miss, so the per-slot hit
+// path is allocation-free.
 func (s *Simulator) coveredOn(nodes map[int]bool) ([]storage.DiskID, bool) {
-	key := make([]byte, s.cfg.Cluster.Nodes)
+	if s.coverKey == nil {
+		s.coverKey = make([]byte, s.cfg.Cluster.Nodes)
+	}
+	key := s.coverKey
+	for i := range key {
+		key[i] = 0
+	}
 	for n := range nodes {
 		key[n] = 1
 	}
 	for n := range s.repairAt {
 		key[n] |= 2
 	}
-	k := string(key)
 	if s.coverCache == nil {
 		s.coverCache = make(map[string][]storage.DiskID)
 	}
-	if cached, ok := s.coverCache[k]; ok {
+	// map[string] lookup keyed by string(key) does not allocate; the
+	// conversion is only paid when inserting a miss.
+	if cached, ok := s.coverCache[string(key)]; ok {
 		if len(cached) == 1 && cached[0].Node < 0 {
 			return nil, false
 		}
@@ -777,10 +803,10 @@ func (s *Simulator) coveredOn(nodes map[int]bool) ([]storage.DiskID, bool) {
 	}
 	cover, ok := s.cluster.CoverOnNodes(nodes)
 	if !ok {
-		s.coverCache[k] = []storage.DiskID{{Node: -1, Disk: -1}}
+		s.coverCache[string(key)] = []storage.DiskID{{Node: -1, Disk: -1}}
 		return nil, false
 	}
-	s.coverCache[k] = cover
+	s.coverCache[string(key)] = cover
 	return cover, true
 }
 

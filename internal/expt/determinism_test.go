@@ -1,0 +1,62 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll runs an experiment and renders every table to the text form
+// gmexp prints, so the comparison covers formatting as well as values.
+func renderAll(t *testing.T, id string, p Params) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tables, err := e.Run(p)
+	if err != nil {
+		t.Fatalf("%s at %d workers: %v", id, p.Workers, err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		if err := tb.WriteText(&sb); err != nil {
+			t.Fatalf("%s: render: %v", id, err)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestSweepParallelWorkers forces a multi-worker sweep even on single-core
+// machines (where Workers:0 resolves to one worker and the pool runs
+// inline), so the short-mode race pass in CI always exercises concurrent
+// core.Run invocations against a shared scenario.
+func TestSweepParallelWorkers(t *testing.T) {
+	e, ok := ByID("E2")
+	if !ok {
+		t.Fatal("E2 not registered")
+	}
+	if _, err := e.Run(Params{Scale: 0.05, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the regression guard for the
+// parallel sweep runner: the rendered tables of grid experiments must be
+// byte-identical at 1 worker (the historical sequential path) and at 8
+// workers. E2, E3 and E8 cover the three grid shapes (area x policy,
+// battery x policy, flat policy list) and E8 is additionally pinned by a
+// golden file.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs; skipped in -short")
+	}
+	p := Params{Scale: 0.2}
+	for _, id := range []string{"E2", "E3", "E8"} {
+		seq := renderAll(t, id, Params{Scale: p.Scale, Workers: 1})
+		par := renderAll(t, id, Params{Scale: p.Scale, Workers: 8})
+		if seq != par {
+			t.Errorf("%s: rendered tables differ between -j1 and -j8\n--- j1 ---\n%s\n--- j8 ---\n%s", id, seq, par)
+		}
+	}
+}

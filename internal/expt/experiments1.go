@@ -1,7 +1,10 @@
 package expt
 
 import (
+	"fmt"
+
 	"repro/internal/battery"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -75,29 +78,42 @@ func runE1(p Params) ([]*metrics.Table, error) {
 // (consolidation + coverage-constrained spin-down) shrinks the panel
 // dimension the facility has to buy.
 func runE2(p Params) ([]*metrics.Table, error) {
+	// The grid refines around the expected break-even (175-200 m2) so the
+	// two policies' crossings resolve.
+	areas := []float64{0, 25, 50, 75, 100, 125, 150, 175, 180, 185, 190, 195, 200, 250, 300, 350, 400}
+	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}}
+	var points []gridPoint
+	for _, area := range areas {
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("area=%g policy=%s", area, pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, area)
+					cfg.InfiniteBattery = true
+					cfg.Policy = pol
+					cfg.RecordSeries = true
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E2", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title:   "E2: brown energy vs panel area (infinite ideal ESD)",
 		Headers: []string{"area_m2", "supply_ratio", "baseline_steady_brown_kwh", "greenmatch_steady_brown_kwh"},
 	}
 	breakEven := map[string]float64{"baseline": -1, "greenmatch": -1}
-	// The grid refines around the expected break-even (175-200 m2) so the
-	// two policies' crossings resolve.
-	for _, area := range []float64{0, 25, 50, 75, 100, 125, 150, 175, 180, 185, 190, 195, 200, 250, 300, 350, 400} {
+	for ai, area := range areas {
 		cells := []any{area * p.scale()}
-		ratio := 0.0
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, area)
-			cfg.InfiniteBattery = true
-			cfg.Policy = pol
-			cfg.RecordSeries = true
-			res, err := runOrErr("E2", cfg)
-			if err != nil {
-				return nil, err
-			}
+		for pi, pol := range pols {
+			res := results[ai*len(pols)+pi]
 			if pol.Name() == "baseline" && res.Energy.TotalLoad() > 0 {
-				ratio = float64(res.Energy.GreenProduced) / float64(res.Energy.TotalLoad())
-				cells = append(cells, ratio)
+				cells = append(cells, float64(res.Energy.GreenProduced)/float64(res.Energy.TotalLoad()))
 			}
 			sb := steadyBrown(res)
 			cells = append(cells, sb.KWh())
@@ -120,6 +136,29 @@ func runE2(p Params) ([]*metrics.Table, error) {
 // that GreenMatch reaches zero steady-state brown with a markedly smaller
 // battery than Baseline-ESD.
 func runE3(p Params) ([]*metrics.Table, error) {
+	caps := kwhGrid(p, 160, 20)
+	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}}
+	var points []gridPoint
+	for _, cap := range caps {
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("battery=%gkWh policy=%s", cap.KWh(), pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, IdealAreaM2)
+					cfg.BatteryCapacityWh = cap
+					cfg.Policy = pol
+					cfg.RecordSeries = true
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E3", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title:   "E3: brown energy vs battery size, sized panels",
 		Headers: []string{"battery_kwh", "baseline_brown_kwh", "greenmatch_brown_kwh", "li_volume_l", "la_volume_l"},
@@ -127,19 +166,10 @@ func runE3(p Params) ([]*metrics.Table, error) {
 	li := battery.MustSpec(battery.LithiumIon)
 	la := battery.MustSpec(battery.LeadAcid)
 	zeroBase, zeroGM := -1.0, -1.0
-	for _, cap := range kwhGrid(p, 160, 20) {
+	for ci, cap := range caps {
 		row := make(map[string]units.Energy, 2)
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, IdealAreaM2)
-			cfg.BatteryCapacityWh = cap
-			cfg.Policy = pol
-			cfg.RecordSeries = true
-			res, err := runOrErr("E3", cfg)
-			if err != nil {
-				return nil, err
-			}
-			row[pol.Name()] = steadyBrown(res)
+		for pi, pol := range pols {
+			row[pol.Name()] = steadyBrown(results[ci*len(pols)+pi])
 		}
 		t.AddRow(cap.KWh(), row["baseline"].KWh(), row["greenmatch"].KWh(),
 			li.VolumeLiters(cap), la.VolumeLiters(cap))
@@ -164,6 +194,40 @@ func runE3(p Params) ([]*metrics.Table, error) {
 // catch up.
 func runE4(p Params) ([]*metrics.Table, error) {
 	fractions := []float64{0.3, 0.5, 0.7, 0.9, 1.0}
+	caps := kwhGrid(p, 120, 20)
+	// Column order per capacity: the baseline (default policy) first, then
+	// the defer-fraction family.
+	var points []gridPoint
+	for _, cap := range caps {
+		points = append(points, gridPoint{
+			label: fmt.Sprintf("battery=%gkWh policy=baseline", cap.KWh()),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ScarceAreaM2)
+				cfg.BatteryCapacityWh = cap
+				cfg.RecordSeries = true
+				return cfg
+			},
+		})
+		for _, f := range fractions {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("battery=%gkWh fraction=%g", cap.KWh(), f),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ScarceAreaM2)
+					cfg.BatteryCapacityWh = cap
+					cfg.Policy = sched.GreenMatch{Fraction: f}
+					cfg.RecordSeries = true
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E4", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	headers := []string{"battery_kwh", "baseline_kwh"}
 	for _, f := range fractions {
 		headers = append(headers, (sched.GreenMatch{Fraction: f}).Name()+"_kwh")
@@ -172,28 +236,11 @@ func runE4(p Params) ([]*metrics.Table, error) {
 		Title:   "E4: brown energy vs battery size, scarce solar, defer fractions",
 		Headers: headers,
 	}
-	for _, cap := range kwhGrid(p, 120, 20) {
+	perCap := 1 + len(fractions)
+	for ci, cap := range caps {
 		cells := []any{cap.KWh()}
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ScarceAreaM2)
-		cfg.BatteryCapacityWh = cap
-		cfg.RecordSeries = true
-		res, err := runOrErr("E4", cfg)
-		if err != nil {
-			return nil, err
-		}
-		cells = append(cells, steadyBrown(res).KWh())
-		for _, f := range fractions {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ScarceAreaM2)
-			cfg.BatteryCapacityWh = cap
-			cfg.Policy = sched.GreenMatch{Fraction: f}
-			cfg.RecordSeries = true
-			res, err := runOrErr("E4", cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, steadyBrown(res).KWh())
+		for k := 0; k < perCap; k++ {
+			cells = append(cells, steadyBrown(results[ci*perCap+k]).KWh())
 		}
 		t.AddRow(cells...)
 	}
@@ -207,23 +254,37 @@ func runE5(p Params) ([]*metrics.Table, error) {
 	// demand by consolidation and disk parking, so the delta between their
 	// columns isolates the effect of deferral on surplus absorption.
 	// Baseline is included because it soaks surplus into idle hardware.
+	caps := kwhGrid(p, 120, 20)
+	pols := []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.GreenMatch{}}
+	var points []gridPoint
+	for _, cap := range caps {
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("battery=%gkWh policy=%s", cap.KWh(), pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ScarceAreaM2)
+					cfg.BatteryCapacityWh = cap
+					cfg.Policy = pol
+					cfg.RecordSeries = true
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E5", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title:   "E5: solar energy lost vs battery size (scarce solar)",
 		Headers: []string{"battery_kwh", "baseline_lost_kwh", "spindown_lost_kwh", "greenmatch_lost_kwh"},
 	}
-	for _, cap := range kwhGrid(p, 120, 20) {
+	for ci, cap := range caps {
 		cells := []any{cap.KWh()}
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ScarceAreaM2)
-			cfg.BatteryCapacityWh = cap
-			cfg.Policy = pol
-			cfg.RecordSeries = true
-			res, err := runOrErr("E5", cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, steadyLost(res).KWh())
+		for pi := range pols {
+			cells = append(cells, steadyLost(results[ci*len(pols)+pi]).KWh())
 		}
 		t.AddRow(cells...)
 	}
@@ -235,6 +296,27 @@ func runE5(p Params) ([]*metrics.Table, error) {
 // for Baseline, GreenMatch and the 30% mixed configuration.
 func runE6(p Params) ([]*metrics.Table, error) {
 	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}, sched.GreenMatch{Fraction: 0.3}}
+	caps := kwhGrid(p, 120, 20)
+	var points []gridPoint
+	for _, cap := range caps {
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("battery=%gkWh policy=%s", cap.KWh(), pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ScarceAreaM2)
+					cfg.BatteryCapacityWh = cap
+					cfg.Policy = pol
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E6", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	headers := []string{"battery_kwh"}
 	for _, pol := range pols {
 		headers = append(headers, pol.Name()+"_battery_loss_kwh", pol.Name()+"_sched_overhead_kwh", pol.Name()+"_total_kwh")
@@ -243,17 +325,10 @@ func runE6(p Params) ([]*metrics.Table, error) {
 		Title:   "E6: loss decomposition vs battery size (scarce solar)",
 		Headers: headers,
 	}
-	for _, cap := range kwhGrid(p, 120, 20) {
+	for ci, cap := range caps {
 		cells := []any{cap.KWh()}
-		for _, pol := range pols {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ScarceAreaM2)
-			cfg.BatteryCapacityWh = cap
-			cfg.Policy = pol
-			res, err := runOrErr("E6", cfg)
-			if err != nil {
-				return nil, err
-			}
+		for pi := range pols {
+			res := results[ci*len(pols)+pi]
 			batLoss := res.Energy.BatteryEffLoss + res.Energy.BatterySelfLoss
 			schedLoss := res.Energy.MigrationOverhead + res.Energy.TransitionOverhead
 			cells = append(cells, batLoss.KWh(), schedLoss.KWh(), (batLoss + schedLoss).KWh())

@@ -1,8 +1,10 @@
 package expt
 
 import (
+	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/sched"
@@ -27,11 +29,6 @@ func init() {
 // claim is that the tiered cluster draws less power for the same service
 // (same availability, reads still mostly land on warm enterprise disks).
 func runE21(p Params) ([]*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "E21: tiered vs homogeneous storage (reference solar, 40 kWh LI ESD)",
-		Headers: []string{"layout", "policy", "demand_kwh", "brown_kwh",
-			"disk_spun_hours", "cold_reads", "unserved", "lat_p99_ms"},
-	}
 	base := baseScenario(p)
 	nodes := base.Cluster.Nodes
 	hotNodes := maxi(2, int(math.Round(float64(nodes)/3)))
@@ -47,17 +44,36 @@ func runE21(p Params) ([]*metrics.Table, error) {
 			{Name: "cold", Nodes: coldNodes, Server: power.R720(), Disk: power.ArchiveHDD(), ObjectShare: 0.8},
 		}},
 	}
+	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}}
+	var points []gridPoint
 	for _, layout := range layouts {
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ReferenceAreaM2)
-			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-			cfg.Policy = pol
-			cfg.Cluster.Tiers = layout.tiers
-			res, err := runOrErr("E21", cfg)
-			if err != nil {
-				return nil, err
-			}
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("layout=%s policy=%s", layout.name, pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ReferenceAreaM2)
+					cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+					cfg.Policy = pol
+					cfg.Cluster.Tiers = layout.tiers
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E21", p, points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Title: "E21: tiered vs homogeneous storage (reference solar, 40 kWh LI ESD)",
+		Headers: []string{"layout", "policy", "demand_kwh", "brown_kwh",
+			"disk_spun_hours", "cold_reads", "unserved", "lat_p99_ms"},
+	}
+	for li, layout := range layouts {
+		for pi, pol := range pols {
+			res := results[li*len(pols)+pi]
 			t.AddRow(layout.name, pol.Name(), res.Energy.Demand.KWh(), res.Energy.Brown.KWh(),
 				res.DiskSpunHours, res.SLA.ColdReads, res.SLA.UnservedReads, res.ReadLatencyMs.P99)
 		}

@@ -1,9 +1,11 @@
 package expt
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/battery"
+	"repro/internal/core"
 	"repro/internal/forecast"
 	"repro/internal/match"
 	"repro/internal/metrics"
@@ -57,22 +59,34 @@ func init() {
 // runE7 compares the two chemistries at the same nominal capacity in the
 // scarce-surplus regime, where charging efficiency determines brown energy.
 func runE7(p Params) ([]*metrics.Table, error) {
+	chems := []battery.Chemistry{battery.LeadAcid, battery.LithiumIon}
+	capWh := units.Energy(90_000 * p.scale())
+	var points []gridPoint
+	for _, chem := range chems {
+		points = append(points, gridPoint{
+			label: "chemistry=" + string(chem),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ScarceAreaM2)
+				cfg.BatterySpec = battery.MustSpec(chem)
+				cfg.BatteryCapacityWh = capWh
+				cfg.RecordSeries = true
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E7", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title:   "E7: battery chemistry comparison (90 kWh-class ESD, scarce solar)",
 		Headers: []string{"chemistry", "brown_kwh", "battery_loss_kwh", "green_lost_kwh", "volume_l", "price_usd"},
 	}
-	capWh := units.Energy(90_000 * p.scale())
-	for _, chem := range []battery.Chemistry{battery.LeadAcid, battery.LithiumIon} {
+	for ci, chem := range chems {
+		res := results[ci]
 		spec := battery.MustSpec(chem)
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ScarceAreaM2)
-		cfg.BatterySpec = spec
-		cfg.BatteryCapacityWh = capWh
-		cfg.RecordSeries = true
-		res, err := runOrErr("E7", cfg)
-		if err != nil {
-			return nil, err
-		}
 		t.AddRow(string(chem),
 			steadyBrown(res).KWh(),
 			res.Battery.TotalLoss().KWh(),
@@ -86,11 +100,6 @@ func runE7(p Params) ([]*metrics.Table, error) {
 // runE8 is the headline policy table on the reference scenario with a
 // moderate battery.
 func runE8(p Params) ([]*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "E8: policy comparison (reference scenario, 40 kWh LI ESD)",
-		Headers: []string{"policy", "brown_kwh", "green_used_kwh", "green_util", "misses",
-			"mean_wait_slots", "migrations", "suspensions", "node_hours", "disk_spindowns", "cold_reads"},
-	}
 	pols := []sched.Policy{
 		sched.Baseline{},
 		sched.SpinDown{},
@@ -100,15 +109,31 @@ func runE8(p Params) ([]*metrics.Table, error) {
 		sched.GreenMatch{Fraction: 0.5},
 		sched.GreenMatch{Solver: sched.SolverGreedy},
 	}
+	var points []gridPoint
 	for _, pol := range pols {
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ReferenceAreaM2)
-		cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-		cfg.Policy = pol
-		res, err := runOrErr("E8", cfg)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, gridPoint{
+			label: "policy=" + pol.Name(),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ReferenceAreaM2)
+				cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+				cfg.Policy = pol
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E8", p, points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Title: "E8: policy comparison (reference scenario, 40 kWh LI ESD)",
+		Headers: []string{"policy", "brown_kwh", "green_used_kwh", "green_util", "misses",
+			"mean_wait_slots", "migrations", "suspensions", "node_hours", "disk_spindowns", "cold_reads"},
+	}
+	for pi, pol := range pols {
+		res := results[pi]
 		t.AddRow(pol.Name(),
 			res.Energy.Brown.KWh(),
 			(res.Energy.GreenDirect + res.Energy.BatteryOut).KWh(),
@@ -127,6 +152,10 @@ func runE8(p Params) ([]*metrics.Table, error) {
 // runE9 times the three assignment solvers (plus the grouped transportation
 // fast path) on synthetic instances of growing job count over a 24-slot
 // horizon, reporting microseconds per plan.
+//
+// E9 deliberately stays OFF the parallel sweep runner: it measures
+// wall-clock solver latency, and concurrent workers competing for cores
+// would distort exactly the quantity the figure reports.
 func runE9(p Params) ([]*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "E9: matching solver scaling (24-slot horizon, us/plan)",
@@ -218,11 +247,8 @@ func runE9(p Params) ([]*metrics.Table, error) {
 
 // runE10 ablates the forecaster under the noisy mixed-weather profile.
 func runE10(p Params) ([]*metrics.Table, error) {
-	t := &metrics.Table{
-		Title:   "E10: forecast ablation (GreenMatch, mixed weather, no ESD)",
-		Headers: []string{"forecaster", "mae_w", "rmse_w", "brown_kwh", "misses", "mean_wait"},
-	}
-	// Mixed-weather supply at the reference area.
+	// Mixed-weather supply at the reference area. The series is built once
+	// and shared read-only across the sweep's workers.
 	scfg := solar.DefaultFarm(ReferenceAreaM2 * p.scale())
 	scfg.Profile = solar.ProfileMixed
 	scfg.Slots = 24 * 21
@@ -236,15 +262,30 @@ func runE10(p Params) ([]*metrics.Table, error) {
 		forecast.EWMA{},
 		forecast.ClearSky{Farm: scfg},
 	}
+	var points []gridPoint
 	for _, fc := range fcs {
-		cfg := baseScenario(p)
-		cfg.Green = green
-		cfg.Forecaster = fc
-		cfg.Policy = sched.GreenMatch{}
-		res, err := runOrErr("E10", cfg)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, gridPoint{
+			label: "forecaster=" + fc.Name(),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = green
+				cfg.Forecaster = fc
+				cfg.Policy = sched.GreenMatch{}
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E10", p, points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Title:   "E10: forecast ablation (GreenMatch, mixed weather, no ESD)",
+		Headers: []string{"forecaster", "mae_w", "rmse_w", "brown_kwh", "misses", "mean_wait"},
+	}
+	for fi, fc := range fcs {
+		res := results[fi]
 		errs := forecast.Evaluate(fc, green, 24)
 		t.AddRow(fc.Name(), errs.MAE, errs.RMSE, res.Energy.Brown.KWh(),
 			res.SLA.DeadlineMisses, res.SLA.MeanWaitSlots())
@@ -255,21 +296,36 @@ func runE10(p Params) ([]*metrics.Table, error) {
 // runE11 varies the replication factor: lower r shrinks the coverage set,
 // letting spin-down park more disks, at the price of more cold reads.
 func runE11(p Params) ([]*metrics.Table, error) {
+	replicas := []int{1, 2, 3}
+	var points []gridPoint
+	for _, r := range replicas {
+		points = append(points, gridPoint{
+			label: fmt.Sprintf("replicas=%d", r),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ReferenceAreaM2)
+				cfg.Cluster.Replicas = r
+				cfg.Policy = sched.GreenMatch{}
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E11", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title:   "E11: coverage-constrained spin-down vs replication factor",
 		Headers: []string{"replicas", "min_cover_disks", "total_disks", "brown_kwh", "disk_spun_hours", "cold_reads", "unserved_reads"},
 	}
-	for _, r := range []int{1, 2, 3} {
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ReferenceAreaM2)
-		cfg.Cluster.Replicas = r
-		cfg.Policy = sched.GreenMatch{}
-		res, err := runOrErr("E11", cfg)
-		if err != nil {
-			return nil, err
-		}
+	baseCluster := baseScenario(p).Cluster
+	for ri, r := range replicas {
+		res := results[ri]
 		// Recompute the cover size on a fresh cluster for reporting.
-		cl, err := storage.NewCluster(cfg.Cluster)
+		ccfg := baseCluster
+		ccfg.Replicas = r
+		cl, err := storage.NewCluster(ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -282,10 +338,6 @@ func runE11(p Params) ([]*metrics.Table, error) {
 // runE12 compares solar, wind and hybrid supplies of (approximately) equal
 // weekly energy.
 func runE12(p Params) ([]*metrics.Table, error) {
-	t := &metrics.Table{
-		Title:   "E12: renewable source comparison at equal weekly energy",
-		Headers: []string{"source", "produced_kwh", "baseline_brown_kwh", "greenmatch_brown_kwh"},
-	}
 	solarSeries := greenFor(p, ReferenceAreaM2)
 	target := solarSeries.TotalEnergy(1)
 
@@ -309,20 +361,36 @@ func runE12(p Params) ([]*metrics.Table, error) {
 		{"wind", windSeries},
 		{"hybrid", hybrid},
 	}
+	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}}
+	var points []gridPoint
 	for _, src := range sources {
-		var browns []units.Energy
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = src.series
-			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-			cfg.Policy = pol
-			res, err := runOrErr("E12", cfg)
-			if err != nil {
-				return nil, err
-			}
-			browns = append(browns, res.Energy.Brown)
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("source=%s policy=%s", src.name, pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = src.series
+					cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+					cfg.Policy = pol
+					return cfg
+				},
+			})
 		}
-		t.AddRow(src.name, src.series.TotalEnergy(1).KWh(), browns[0].KWh(), browns[1].KWh())
+	}
+	results, err := sweep("E12", p, points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Title:   "E12: renewable source comparison at equal weekly energy",
+		Headers: []string{"source", "produced_kwh", "baseline_brown_kwh", "greenmatch_brown_kwh"},
+	}
+	for si, src := range sources {
+		base := results[si*len(pols)]
+		gm := results[si*len(pols)+1]
+		t.AddRow(src.name, src.series.TotalEnergy(1).KWh(),
+			base.Energy.Brown.KWh(), gm.Energy.Brown.KWh())
 	}
 	return []*metrics.Table{t}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/battery"
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -33,6 +34,32 @@ func runE13(p Params) ([]*metrics.Table, error) {
 	prices := cost.DefaultConfig()
 	area := ScarceAreaM2 * p.scale()
 
+	polFor := func(f float64) sched.Policy {
+		if f == 0 {
+			return sched.Baseline{}
+		}
+		return sched.GreenMatch{Fraction: f}
+	}
+	var points []gridPoint
+	for _, capWh := range caps {
+		for _, f := range fractions {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("battery=%gkWh fraction=%g", capWh.KWh(), f),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ScarceAreaM2)
+					cfg.BatteryCapacityWh = capWh
+					cfg.Policy = polFor(f)
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E13", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	grid := &metrics.Table{
 		Title:   "E13: weekly cost ($) over defer fraction x battery size (scarce solar)",
 		Headers: []string{"battery_kwh", "policy", "brown_kwh", "battery_cycles", "cost_brown", "cost_wear", "cost_pv", "cost_total"},
@@ -48,22 +75,10 @@ func runE13(p Params) ([]*metrics.Table, error) {
 	var bestSaving float64
 	var bestSavingAt point
 
-	for _, capWh := range caps {
-		for _, f := range fractions {
-			var pol sched.Policy
-			if f == 0 {
-				pol = sched.Baseline{}
-			} else {
-				pol = sched.GreenMatch{Fraction: f}
-			}
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ScarceAreaM2)
-			cfg.BatteryCapacityWh = capWh
-			cfg.Policy = pol
-			res, err := runOrErr("E13", cfg)
-			if err != nil {
-				return nil, err
-			}
+	for ci, capWh := range caps {
+		for fi, f := range fractions {
+			res := results[ci*len(fractions)+fi]
+			pol := polFor(f)
 			bd, err := cost.Evaluate(prices, res, battery.MustSpec(battery.LithiumIon), capWh, area)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 )
@@ -21,23 +22,35 @@ func init() {
 // flattened popularity maximizes the chance of touching parked disks —
 // the worst case for spin-down policies.
 func runE15(p Params) ([]*metrics.Table, error) {
+	pols := []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.GreenMatch{}}
+	var points []gridPoint
+	for _, pol := range pols {
+		points = append(points, gridPoint{
+			label: "policy=" + pol.Name(),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ReferenceAreaM2)
+				cfg.Policy = pol
+				// Sparse layout + uniform popularity: many parkable disks, reads
+				// spread evenly, so the latency tail exposes the spin-down policy.
+				cfg.Cluster.Objects = maxi(60, cfg.Cluster.Objects/5)
+				cfg.ZipfTheta = 0.01
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E15", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title: "E15: read service quality (sparse cold data, uniform popularity)",
 		Headers: []string{"policy", "reads", "cold_reads", "unserved", "lat_p50_ms",
 			"lat_p99_ms", "lat_max_ms", "disk_spun_hours", "brown_kwh"},
 	}
-	for _, pol := range []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.GreenMatch{}} {
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ReferenceAreaM2)
-		cfg.Policy = pol
-		// Sparse layout + uniform popularity: many parkable disks, reads
-		// spread evenly, so the latency tail exposes the spin-down policy.
-		cfg.Cluster.Objects = maxi(60, cfg.Cluster.Objects/5)
-		cfg.ZipfTheta = 0.01
-		res, err := runOrErr("E15", cfg)
-		if err != nil {
-			return nil, err
-		}
+	for pi, pol := range pols {
+		res := results[pi]
 		lat := res.ReadLatencyMs
 		t.AddRow(pol.Name(), lat.N, res.SLA.ColdReads, res.SLA.UnservedReads,
 			lat.P50, lat.P99, lat.Max, res.DiskSpunHours, res.Energy.Brown.KWh())

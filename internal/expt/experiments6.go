@@ -2,6 +2,7 @@ package expt
 
 import (
 	"repro/internal/carbon"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -24,21 +25,33 @@ func init() {
 func runE16(p Params) ([]*metrics.Table, error) {
 	flat := carbon.Flat{GramsPerKWh: 300}
 	diurnal := carbon.DefaultDiurnal()
+	pols := []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.DeferFraction{Fraction: 1}, sched.GreenMatch{}}
+	var points []gridPoint
+	for _, pol := range pols {
+		points = append(points, gridPoint{
+			label: "policy=" + pol.Name(),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ReferenceAreaM2)
+				cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+				cfg.Policy = pol
+				cfg.RecordSeries = true
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E16", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title: "E16: weekly carbon footprint (40 kWh LI ESD, reference solar)",
 		Headers: []string{"policy", "brown_kwh", "co2_flat_kg", "co2_diurnal_kg",
 			"diurnal_vs_flat_ratio"},
 	}
-	for _, pol := range []sched.Policy{sched.Baseline{}, sched.SpinDown{}, sched.DeferFraction{Fraction: 1}, sched.GreenMatch{}} {
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ReferenceAreaM2)
-		cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-		cfg.Policy = pol
-		cfg.RecordSeries = true
-		res, err := runOrErr("E16", cfg)
-		if err != nil {
-			return nil, err
-		}
+	for pi, pol := range pols {
+		res := results[pi]
 		flatKg, err := carbon.Footprint(res.Series, flat)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,9 @@
 package expt
 
 import (
+	"fmt"
+
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/solar"
@@ -28,22 +31,37 @@ func init() {
 // the savings attributable to the scheduler must be robust to the power
 // model, not an artifact of linearity.
 func runE17(p Params) ([]*metrics.Table, error) {
+	alphas := []float64{1.0, 1.7}
+	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}}
+	var points []gridPoint
+	for _, alpha := range alphas {
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("alpha=%g policy=%s", alpha, pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ReferenceAreaM2)
+					cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+					cfg.Cluster.NodeProfile.Server = cfg.Cluster.NodeProfile.Server.WithDVFS(alpha)
+					cfg.Policy = pol
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E17", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title:   "E17: DVFS power-model ablation (40 kWh LI ESD, reference solar)",
 		Headers: []string{"dvfs_alpha", "policy", "demand_kwh", "brown_kwh", "gm_saving_vs_baseline_%"},
 	}
-	for _, alpha := range []float64{1.0, 1.7} {
+	for ai, alpha := range alphas {
 		var baselineBrown units.Energy
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ReferenceAreaM2)
-			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-			cfg.Cluster.NodeProfile.Server = cfg.Cluster.NodeProfile.Server.WithDVFS(alpha)
-			cfg.Policy = pol
-			res, err := runOrErr("E17", cfg)
-			if err != nil {
-				return nil, err
-			}
+		for pi, pol := range pols {
+			res := results[ai*len(pols)+pi]
 			saving := 0.0
 			if pol.Name() == "baseline" {
 				baselineBrown = res.Energy.Brown
@@ -61,11 +79,6 @@ func runE17(p Params) ([]*metrics.Table, error) {
 // sun). The scheduler's absolute savings shrink with the harvest, but its
 // relative advantage over ESD-only must persist in every season.
 func runE18(p Params) ([]*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "E18: seasonal sensitivity (40 kWh LI ESD, 165.6 m2-class PV)",
-		Headers: []string{"season", "produced_kwh", "baseline_brown_kwh",
-			"greenmatch_brown_kwh", "gm_saving_%"},
-	}
 	seasons := []struct {
 		name    string
 		day     int
@@ -76,7 +89,10 @@ func runE18(p Params) ([]*metrics.Table, error) {
 		{"summer-overcast", 173, solar.ProfileOvercast},
 		{"winter", 355, solar.ProfileWinter},
 	}
-	for _, season := range seasons {
+	// Each season's supply series is generated once and shared read-only
+	// by its two policy runs.
+	greens := make([]solar.Series, len(seasons))
+	for i, season := range seasons {
 		scfg := solar.DefaultFarm(ReferenceAreaM2 * p.scale())
 		scfg.StartDayOfYear = season.day
 		scfg.Profile = season.profile
@@ -86,23 +102,43 @@ func runE18(p Params) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var browns []units.Energy
-		for _, pol := range []sched.Policy{sched.Baseline{}, sched.GreenMatch{}} {
-			cfg := baseScenario(p)
-			cfg.Green = green
-			cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-			cfg.Policy = pol
-			res, err := runOrErr("E18", cfg)
-			if err != nil {
-				return nil, err
-			}
-			browns = append(browns, res.Energy.Brown)
+		greens[i] = green
+	}
+	pols := []sched.Policy{sched.Baseline{}, sched.GreenMatch{}}
+	var points []gridPoint
+	for si, season := range seasons {
+		green := greens[si]
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("season=%s policy=%s", season.name, pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = green
+					cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+					cfg.Policy = pol
+					return cfg
+				},
+			})
 		}
+	}
+	results, err := sweep("E18", p, points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Title: "E18: seasonal sensitivity (40 kWh LI ESD, 165.6 m2-class PV)",
+		Headers: []string{"season", "produced_kwh", "baseline_brown_kwh",
+			"greenmatch_brown_kwh", "gm_saving_%"},
+	}
+	for si, season := range seasons {
+		base := results[si*len(pols)].Energy.Brown
+		gm := results[si*len(pols)+1].Energy.Brown
 		saving := 0.0
-		if browns[0] > 0 {
-			saving = 100 * (1 - float64(browns[1])/float64(browns[0]))
+		if base > 0 {
+			saving = 100 * (1 - float64(gm)/float64(base))
 		}
-		t.AddRow(season.name, green.TotalEnergy(1).KWh(), browns[0].KWh(), browns[1].KWh(), saving)
+		t.AddRow(season.name, greens[si].TotalEnergy(1).KWh(), base.KWh(), gm.KWh(), saving)
 	}
 	return []*metrics.Table{t}, nil
 }

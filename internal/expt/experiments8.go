@@ -1,6 +1,9 @@
 package expt
 
 import (
+	"fmt"
+
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 )
@@ -24,24 +27,39 @@ func init() {
 // variant pays measurably more brown energy. Without a battery the two
 // variants are identical by construction.
 func runE19(p Params) ([]*metrics.Table, error) {
+	caps := kwhGrid(p, 120, 40)
+	pols := []sched.Policy{
+		sched.GreenMatch{},
+		sched.GreenMatch{BatteryAware: true},
+	}
+	var points []gridPoint
+	for _, cap := range caps {
+		for _, pol := range pols {
+			points = append(points, gridPoint{
+				label: fmt.Sprintf("battery=%gkWh policy=%s", cap.KWh(), pol.Name()),
+				build: func() core.Config {
+					cfg := baseScenario(p)
+					cfg.Green = greenFor(p, ScarceAreaM2)
+					cfg.BatteryCapacityWh = cap
+					cfg.Policy = pol
+					return cfg
+				},
+			})
+		}
+	}
+	results, err := sweep("E19", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title: "E19: battery-aware matching ablation (scarce solar)",
 		Headers: []string{"battery_kwh", "policy", "brown_kwh", "suspensions",
 			"migrations", "mgmt_overhead_kwh", "mean_wait_slots"},
 	}
-	for _, cap := range kwhGrid(p, 120, 40) {
-		for _, pol := range []sched.Policy{
-			sched.GreenMatch{},
-			sched.GreenMatch{BatteryAware: true},
-		} {
-			cfg := baseScenario(p)
-			cfg.Green = greenFor(p, ScarceAreaM2)
-			cfg.BatteryCapacityWh = cap
-			cfg.Policy = pol
-			res, err := runOrErr("E19", cfg)
-			if err != nil {
-				return nil, err
-			}
+	for ci, cap := range caps {
+		for pi, pol := range pols {
+			res := results[ci*len(pols)+pi]
 			t.AddRow(cap.KWh(), pol.Name(), res.Energy.Brown.KWh(),
 				res.SLA.Suspensions, res.SLA.Migrations,
 				res.Energy.MigrationOverhead.KWh(), res.SLA.MeanWaitSlots())

@@ -1,6 +1,9 @@
 package expt
 
 import (
+	"fmt"
+
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -23,22 +26,34 @@ func init() {
 // migrations and throttled slots. The sweep exposes where the 1.5x default
 // sits on that curve.
 func runE20(p Params) ([]*metrics.Table, error) {
+	overcommits := []float64{1.0, 1.25, 1.5, 1.75, 2.0}
+	var points []gridPoint
+	for _, oc := range overcommits {
+		points = append(points, gridPoint{
+			label: fmt.Sprintf("overcommit=%g", oc),
+			build: func() core.Config {
+				cfg := baseScenario(p)
+				cfg.Green = greenFor(p, ReferenceAreaM2)
+				cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
+				cfg.Policy = sched.GreenMatch{}
+				cfg.ModelUtilization = true
+				cfg.Overcommit = oc
+				return cfg
+			},
+		})
+	}
+	results, err := sweep("E20", p, points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &metrics.Table{
 		Title: "E20: over-commit sweep (utilization model on, GreenMatch, 40 kWh LI ESD)",
 		Headers: []string{"overcommit", "demand_kwh", "brown_kwh", "node_hours",
 			"overload_events", "overload_migrations", "throttled_slots", "misses"},
 	}
-	for _, oc := range []float64{1.0, 1.25, 1.5, 1.75, 2.0} {
-		cfg := baseScenario(p)
-		cfg.Green = greenFor(p, ReferenceAreaM2)
-		cfg.BatteryCapacityWh = units.Energy(40_000 * p.scale())
-		cfg.Policy = sched.GreenMatch{}
-		cfg.ModelUtilization = true
-		cfg.Overcommit = oc
-		res, err := runOrErr("E20", cfg)
-		if err != nil {
-			return nil, err
-		}
+	for oi, oc := range overcommits {
+		res := results[oi]
 		t.AddRow(oc, res.Energy.Demand.KWh(), res.Energy.Brown.KWh(), res.NodeHours,
 			res.SLA.OverloadEvents, res.SLA.OverloadMigrations, res.SLA.ThrottledSlots,
 			res.SLA.DeadlineMisses)

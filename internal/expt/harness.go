@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/solar"
 	"repro/internal/storage"
 	"repro/internal/units"
@@ -30,6 +31,13 @@ type Params struct {
 	Scale float64
 	// Seed offsets the stochastic components (default 1).
 	Seed int64
+	// Workers bounds the sweep worker pool: 0 (the default) uses one
+	// worker per core (with a GREENMATCH_WORKERS env override), 1 forces
+	// the historical sequential execution, N > 1 uses N workers. Every
+	// experiment produces identical tables at any worker count — grid
+	// points are independent core.Run invocations and rows are assembled
+	// from index-addressed result slots.
+	Workers int
 }
 
 func (p Params) scale() float64 {
@@ -84,18 +92,22 @@ func experimentNumber(id string) int {
 	return n
 }
 
+// byID indexes the registry for O(1) lookup. Built at registration, read
+// only after package init completes.
+var byID = map[string]Experiment{}
+
 // ByID looks an experiment up.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := byID[id]
+	return e, ok
 }
 
 func register(e Experiment) {
+	if _, dup := byID[e.ID]; dup {
+		panic("expt: duplicate experiment id " + e.ID)
+	}
 	registry = append(registry, e)
+	byID[e.ID] = e
 }
 
 // ReferenceAreaM2 is the paper-scale PV area used by the supply/demand
@@ -190,4 +202,40 @@ func runOrErr(id string, cfg core.Config) (*core.Result, error) {
 		return nil, fmt.Errorf("expt %s: %w", id, err)
 	}
 	return res, nil
+}
+
+// gridPoint is one cell of an experiment's parameter grid: a label for
+// error reporting and a builder producing the point's Config. The builder
+// runs inside the worker too, so trace/solar generation — a real fraction
+// of small-scale runs — parallelizes along with the simulation.
+type gridPoint struct {
+	label string
+	build func() core.Config
+}
+
+// point makes a gridPoint from a label and an already-built Config.
+func point(label string, cfg core.Config) gridPoint {
+	return gridPoint{label: label, build: func() core.Config { return cfg }}
+}
+
+// sweep runs every grid point through the bounded worker pool and returns
+// the results in submission order, so callers assemble table rows exactly
+// as the historical nested loops did. Errors from all points are
+// aggregated (labeled, not fail-fast) and wrapped with the experiment id.
+func sweep(id string, p Params, points []gridPoint) ([]*core.Result, error) {
+	jobs := make([]runner.Job, len(points))
+	for i, pt := range points {
+		jobs[i] = runner.Job{Label: pt.label, Run: func() (any, error) {
+			return core.Run(pt.build())
+		}}
+	}
+	outs := runner.Sweep(jobs, runner.Options{Workers: p.Workers})
+	if err := runner.Errs(outs); err != nil {
+		return nil, fmt.Errorf("expt %s: %w", id, err)
+	}
+	results := make([]*core.Result, len(outs))
+	for i, o := range outs {
+		results[i] = o.Value.(*core.Result)
+	}
+	return results, nil
 }
