@@ -7,6 +7,7 @@
 //	gmexp -list
 //	gmexp -id E3 -scale 0.5
 //	gmexp -all -scale 0.2 -csv > results.csv
+//	gmexp -all -scale 0.25 -audit -audit-trace trace.jsonl   # conservation gate
 package main
 
 import (
@@ -15,20 +16,23 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/expt"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		id    = flag.String("id", "", "experiment ID to run (E1..E21)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list the registry and exit")
-		scale = flag.Float64("scale", 0.25, "scenario scale (1.0 = paper scale; smaller is faster)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
-		html  = flag.String("html", "", "also write a self-contained HTML report (tables + SVG charts) to this file")
-		jobs  = flag.Int("j", 0, "sweep workers per experiment: 0 = one per core (GREENMATCH_WORKERS overrides), 1 = sequential")
+		id         = flag.String("id", "", "experiment ID to run (E1..E21)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list the registry and exit")
+		scale      = flag.Float64("scale", 0.25, "scenario scale (1.0 = paper scale; smaller is faster)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		html       = flag.String("html", "", "also write a self-contained HTML report (tables + SVG charts) to this file")
+		jobs       = flag.Int("j", 0, "sweep workers per experiment: 0 = one per core (GREENMATCH_WORKERS overrides), 1 = sequential")
+		doAudit    = flag.Bool("audit", false, "attach the energy-conservation auditor to every run; violations fail the experiment")
+		auditTrace = flag.String("audit-trace", "", "write every run's per-slot audit trace as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -55,7 +59,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	p := expt.Params{Scale: *scale, Seed: *seed, Workers: *jobs}
+	p := expt.Params{Scale: *scale, Seed: *seed, Workers: *jobs, Audit: *doAudit}
+	if *auditTrace != "" {
+		f, err := os.Create(*auditTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p.AuditSink = audit.NewJSONL(f) // goroutine-safe: shared by sweep workers
+	}
 	var sections []report.Section
 	for _, e := range toRun {
 		fmt.Printf("== %s (%s): %s ==\n", e.ID, e.Kind, e.Title)
@@ -112,5 +125,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *html)
+	}
+	if *doAudit {
+		fmt.Fprintf(os.Stderr, "gmexp: audit passed: every run conserved energy within tolerance\n")
 	}
 }

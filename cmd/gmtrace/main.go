@@ -1,6 +1,8 @@
-// Command gmtrace generates and inspects the simulator's input traces:
-// synthetic workload weeks and solar/wind production series, written as the
-// CSV formats the library round-trips.
+// Command gmtrace generates and inspects the simulator's traces: synthetic
+// workload weeks and solar/wind production series as round-trippable CSV,
+// and — with `-kind run` — the per-slot energy-flow audit trace of a full
+// simulation run, in JSONL, CSV or Prometheus-style text, optionally
+// checked by the energy-conservation auditor.
 //
 // Examples:
 //
@@ -8,6 +10,8 @@
 //	gmtrace -kind solar -area 165.6 -profile mixed -slots 336 -out solar.csv
 //	gmtrace -kind wind -turbines 2 -out wind.csv
 //	gmtrace -kind workload -stats            # print population statistics
+//	gmtrace -kind run -scenario scenarios/reference.json -scale 0.25 -audit -out trace.jsonl
+//	gmtrace -kind run -format csv -slots 48  # default scenario, first 48 slots
 package main
 
 import (
@@ -16,6 +20,9 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/solar"
 	"repro/internal/wind"
 	"repro/internal/workload"
@@ -23,16 +30,19 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "workload", "trace kind: workload | solar | wind")
+		kind     = flag.String("kind", "workload", "trace kind: workload | solar | wind | run")
 		in       = flag.String("in", "", "analyze an existing CSV trace instead of generating one (use with -stats)")
 		out      = flag.String("out", "", "output file (default stdout)")
 		stats    = flag.Bool("stats", false, "print summary statistics instead of the CSV")
 		seed     = flag.Int64("seed", 1, "random seed")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor; for -kind run, scales the whole scenario")
 		area     = flag.Float64("area", 165.6, "solar panel area m^2")
 		profile  = flag.String("profile", "sunny", "solar weather profile")
-		slots    = flag.Int("slots", 168, "trace length in slots")
+		slots    = flag.Int("slots", 168, "trace length in slots; for -kind run, cap on emitted slot traces")
 		turbines = flag.Int("turbines", 1, "wind turbine count")
+		scenFile = flag.String("scenario", "", "scenario JSON for -kind run (default: built-in quarter-scale reference)")
+		doAudit  = flag.Bool("audit", false, "for -kind run: check energy-conservation invariants, fail on violation")
+		format   = flag.String("format", "jsonl", "for -kind run: trace format jsonl | csv | prom")
 	)
 	flag.Parse()
 
@@ -127,9 +137,78 @@ func main() {
 		if err := s.WriteCSV(w); err != nil {
 			fatal(err)
 		}
+	case "run":
+		slotCap := 0 // 0 = every slot; honour -slots only when given explicitly
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "slots" {
+				slotCap = *slots
+			}
+		})
+		if err := runScenario(w, *scenFile, *scale, *format, *doAudit, slotCap); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
+}
+
+// runScenario simulates a scenario and streams its audit trace to w.
+func runScenario(w io.Writer, scenFile string, scale float64, format string, doAudit bool, slotCap int) error {
+	sc := scenario.Default()
+	if scenFile != "" {
+		f, err := os.Open(scenFile)
+		if err != nil {
+			return err
+		}
+		sc, err = scenario.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	sc = sc.Scaled(scale)
+	cfg, err := sc.Compile()
+	if err != nil {
+		return err
+	}
+
+	var sink audit.Observer
+	switch format {
+	case "jsonl":
+		sink = audit.NewJSONL(w)
+	case "csv":
+		sink = audit.NewCSV(w)
+	case "prom":
+		sink = audit.NewProm(w)
+	default:
+		return fmt.Errorf("unknown trace format %q", format)
+	}
+	if slotCap > 0 {
+		sink = audit.Limit(slotCap, sink)
+	}
+	var auditor *audit.Auditor
+	obs := sink
+	if doAudit {
+		auditor = audit.NewAuditor() // sees every slot, uncapped
+		obs = audit.Tee(auditor, sink)
+	}
+	cfg.Observer = audit.Labeled(sc.Name, obs)
+
+	res, err := core.Run(cfg)
+	if auditor != nil {
+		for _, v := range auditor.Violations() {
+			fmt.Fprintln(os.Stderr, "gmtrace: VIOLATION:", v)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gmtrace: run %q (%s): %d slots, brown %.2f kWh, green utilization %.1f%%\n",
+		sc.Name, res.Policy, res.Slots, float64(res.Energy.Brown)/1000, 100*res.Energy.GreenUtilization())
+	if auditor != nil {
+		fmt.Fprintf(os.Stderr, "gmtrace: audit: %d slots checked, 0 violations\n", res.Slots)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"io"
 	"log"
 	"os"
 
@@ -14,6 +15,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	policies := []greenmatch.Policy{
 		greenmatch.Baseline{},
 		greenmatch.SpinDown{},
@@ -27,7 +34,7 @@ func main() {
 	// concurrent run (the documented Config contract).
 	trace, err := greenmatch.GenerateWorkload(0.25, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	green := greenmatch.DefaultGreen(41.4)
 
@@ -52,7 +59,7 @@ func main() {
 	}
 	outs := greenmatch.Sweep(jobs, greenmatch.SweepOptions{})
 	if err := greenmatch.SweepErrs(outs); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	table := &greenmatch.Table{
@@ -73,7 +80,5 @@ func main() {
 			res.NodeHours,
 			res.Disk.SpinDowns)
 	}
-	if err := table.WriteText(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	return table.WriteText(w)
 }

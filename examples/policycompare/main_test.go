@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicyCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation sweep in -short mode")
+	}
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Policy comparison",
+		"policy", "brown_kwh", "green_util_%",
+		"baseline", "spindown", "defer50%", "defer100%", "mixed50%", "greenmatch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Six policies → six data rows after the title and header lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 8 {
+		t.Errorf("table too short (%d lines):\n%s", len(lines), out)
+	}
+}

@@ -6,25 +6,32 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	greenmatch "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A quarter-scale data center: ~8 nodes, ~1000 jobs over one week,
 	// a 41 m^2 rooftop solar farm and a 10 kWh lithium-ion battery.
+	trace, err := greenmatch.GenerateWorkload(0.25, 1)
+	if err != nil {
+		return err
+	}
 	mkConfig := func(policy greenmatch.Policy) greenmatch.Config {
 		cfg := greenmatch.DefaultConfig()
 		cl := cfg.Cluster
 		cl.Nodes = 8
 		cl.Objects = 800
 		cfg.Cluster = cl
-
-		trace, err := greenmatch.GenerateWorkload(0.25, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
 		cfg.Trace = trace
 		cfg.Green = greenmatch.DefaultGreen(41.4)
 		cfg.BatteryCapacityWh = 10_000
@@ -39,14 +46,15 @@ func main() {
 	} {
 		res, err := greenmatch.Run(mkConfig(policy))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		e := res.Energy
-		fmt.Printf("%-12s brown=%-12v greenUsed=%-12v lost=%-12v util=%.1f%%  misses=%d migrations=%d\n",
+		fmt.Fprintf(w, "%-12s brown=%-12v greenUsed=%-12v lost=%-12v util=%.1f%%  misses=%d migrations=%d\n",
 			res.Policy, e.Brown, e.GreenDirect+e.BatteryOut, e.GreenLost,
 			100*e.GreenUtilization(), res.SLA.DeadlineMisses, res.SLA.Migrations)
 	}
-	fmt.Println("\nGreenMatch consolidates jobs, parks disks under the replica-coverage")
-	fmt.Println("constraint, and shifts deferrable work into the solar window: noticeably")
-	fmt.Println("less brown energy, with every deadline still met.")
+	fmt.Fprintln(w, "\nGreenMatch consolidates jobs, parks disks under the replica-coverage")
+	fmt.Fprintln(w, "constraint, and shifts deferrable work into the solar window: noticeably")
+	fmt.Fprintln(w, "less brown energy, with every deadline still met.")
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation runs in -short mode")
+	}
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"baseline", "greenmatch", "brown=", "util=", "misses=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "brown="); n != 2 {
+		t.Errorf("want one result line per policy (2), got %d:\n%s", n, out)
+	}
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,15 +19,21 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const slots = 24 * 21
 
 	solar, err := greenmatch.GenerateSolar(41.4, "sunny", slots, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	windRaw, err := greenmatch.GenerateWind(1, slots, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Scale the wind trace to the solar trace's total energy so the two
 	// sources are compared fairly.
@@ -34,6 +41,11 @@ func main() {
 	hybrid := make(greenmatch.SolarSeries, slots)
 	for i := range hybrid {
 		hybrid[i] = (solar.Power(i) + wind.Power(i)) / 2
+	}
+
+	trace, err := greenmatch.GenerateWorkload(0.25, 1)
+	if err != nil {
+		return err
 	}
 
 	table := &greenmatch.Table{
@@ -54,10 +66,6 @@ func main() {
 				cl.Nodes = 8
 				cl.Objects = 800
 				cfg.Cluster = cl
-				trace, err := greenmatch.GenerateWorkload(0.25, 1)
-				if err != nil {
-					log.Fatal(err)
-				}
 				cfg.Trace = trace
 				cfg.Green = src.series
 				cfg.BatteryCapacityWh = greenmatch.Energy(batKWh * 1000)
@@ -65,7 +73,7 @@ func main() {
 				cfg.Policy = policy
 				res, err := greenmatch.Run(cfg)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				browns = append(browns, res.Energy.Brown.KWh())
 			}
@@ -76,10 +84,11 @@ func main() {
 			table.AddRow(src.name, batKWh, browns[0], browns[1], adv)
 		}
 	}
-	if err := table.WriteText(os.Stdout); err != nil {
-		log.Fatal(err)
+	if err := table.WriteText(w); err != nil {
+		return err
 	}
-	fmt.Println("\nAt equal weekly energy, wind's round-the-clock production covers the night")
-	fmt.Println("load directly, so absolute brown energy is far lower than under solar; the")
-	fmt.Println("matcher still pays off by riding the gust plateaus the forecast exposes.")
+	fmt.Fprintln(w, "\nAt equal weekly energy, wind's round-the-clock production covers the night")
+	fmt.Fprintln(w, "load directly, so absolute brown energy is far lower than under solar; the")
+	fmt.Fprintln(w, "matcher still pays off by riding the gust plateaus the forecast exposes.")
+	return nil
 }

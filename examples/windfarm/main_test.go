@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWindfarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 full simulations in -short mode")
+	}
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Renewable source comparison",
+		"solar", "wind", "hybrid",
+		"baseline_brown_kwh", "greenmatch_brown_kwh",
+		"equal weekly energy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Three sources × two battery sizes → six data rows.
+	if n := strings.Count(out, "solar"); n < 2 {
+		t.Errorf("expected solar rows in table, got %d mention(s):\n%s", n, out)
+	}
+}

@@ -23,6 +23,9 @@
 package greenmatch
 
 import (
+	"io"
+
+	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/carbon"
 	"repro/internal/core"
@@ -179,6 +182,43 @@ func Experiments() []Experiment { return expt.All() }
 
 // ExperimentByID looks up one experiment ("E1".."E16").
 func ExperimentByID(id string) (Experiment, bool) { return expt.ByID(id) }
+
+// Audit layer: a structured per-slot trace of every energy flow and
+// scheduler action, emitted by the simulator when Config.Observer is set
+// (zero cost when nil), plus an energy-conservation auditor that turns
+// bookkeeping bugs into hard run failures.
+type (
+	// Observer receives one SlotTrace per simulated slot.
+	Observer = audit.Observer
+	// SlotTrace is the per-slot energy-flow and scheduler-action record.
+	SlotTrace = audit.SlotTrace
+	// RunTotals is the whole-run summary handed to RunObservers at the end.
+	RunTotals = audit.RunTotals
+	// Auditor checks conservation, SoC, coverage and SLA invariants; its
+	// EndRun error fails the Run. One Auditor per run — not shareable.
+	Auditor = audit.Auditor
+	// AuditViolation is one failed invariant with its term-by-term residual.
+	AuditViolation = audit.Violation
+)
+
+// NewAuditor returns a conservation auditor with the default tolerance.
+func NewAuditor() *Auditor { return audit.NewAuditor() }
+
+// NewJSONLSink streams slot traces as JSON lines; goroutine-safe, so one
+// sink may be shared by concurrent runs.
+func NewJSONLSink(w io.Writer) Observer { return audit.NewJSONL(w) }
+
+// NewCSVSink streams slot traces as CSV rows (one run per sink).
+func NewCSVSink(w io.Writer) Observer { return audit.NewCSV(w) }
+
+// NewPromSink writes the run totals as Prometheus-style gauges at EndRun.
+func NewPromSink(w io.Writer) Observer { return audit.NewProm(w) }
+
+// TeeObservers fans each slot trace out to several observers.
+func TeeObservers(obs ...Observer) Observer { return audit.Tee(obs...) }
+
+// LabeledObserver stamps every trace with a run label before forwarding.
+func LabeledObserver(run string, o Observer) Observer { return audit.Labeled(run, o) }
 
 // Scenario is the JSON-serializable run description; see
 // internal/scenario for the field documentation.

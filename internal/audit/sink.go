@@ -1,0 +1,185 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL streams one JSON object per slot trace (and one per run's totals,
+// tagged "kind":"totals") to a writer. It is goroutine-safe, so a single
+// JSONL sink may be shared by many concurrent runs — lines from different
+// runs interleave but each carries its Run label. Write errors are sticky
+// and reported by EndRun.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+func (j *JSONL) emit(v any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = j.w.Write(b)
+	}
+	if err != nil {
+		j.err = fmt.Errorf("audit: jsonl sink: %w", err)
+	}
+}
+
+// ObserveSlot writes the trace as one JSON line.
+func (j *JSONL) ObserveSlot(s SlotTrace) { j.emit(s) }
+
+// EndRun writes the run totals as a JSON line and reports any sticky write
+// error.
+func (j *JSONL) EndRun(tot RunTotals) error {
+	j.emit(struct {
+		Kind string `json:"kind"`
+		RunTotals
+	}{Kind: "totals", RunTotals: tot})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// csvColumns defines the CSV sink's column order.
+var csvColumns = []string{
+	"run", "slot", "policy", "slot_hours",
+	"demand_wh", "migration_wh", "transition_wh", "load_wh",
+	"green_avail_wh", "green_direct_wh", "battery_out_wh", "brown_wh",
+	"battery_in_wh", "green_lost_wh", "battery_eff_loss_wh", "battery_self_loss_wh",
+	"battery_stored_wh", "battery_usable_wh", "battery_soc",
+	"starts", "suspensions", "migrations", "promotions", "deferred",
+	"nodes_on", "disks_spun", "node_boots", "node_shutdowns",
+	"disk_spin_ups", "disk_spin_downs", "jobs_running", "jobs_waiting",
+	"completions", "deadline_misses", "cold_reads", "unserved_reads",
+	"node_failures", "evictions", "coverage_ok", "failed_nodes",
+}
+
+// CSV streams slot traces as comma-separated rows with a header line. It
+// serves a single run (no locking); share runs through JSONL instead.
+type CSV struct {
+	w      io.Writer
+	err    error
+	header bool
+}
+
+// NewCSV returns a CSV sink writing to w.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: w} }
+
+func (c *CSV) write(s string) {
+	if c.err == nil {
+		_, err := io.WriteString(c.w, s)
+		if err != nil {
+			c.err = fmt.Errorf("audit: csv sink: %w", err)
+		}
+	}
+}
+
+// ObserveSlot writes one CSV row (preceded by the header on first use).
+func (c *CSV) ObserveSlot(s SlotTrace) {
+	if !c.header {
+		c.header = true
+		for i, col := range csvColumns {
+			if i > 0 {
+				c.write(",")
+			}
+			c.write(col)
+		}
+		c.write("\n")
+	}
+	f := strconv.FormatFloat
+	i := strconv.Itoa
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	row := []string{
+		s.Run, i(s.Slot), s.Policy, f(s.SlotHours, 'g', -1, 64),
+		f(s.DemandWh, 'g', -1, 64), f(s.MigrationWh, 'g', -1, 64),
+		f(s.TransitionWh, 'g', -1, 64), f(s.LoadWh, 'g', -1, 64),
+		f(s.GreenAvailWh, 'g', -1, 64), f(s.GreenDirectWh, 'g', -1, 64),
+		f(s.BatteryOutWh, 'g', -1, 64), f(s.BrownWh, 'g', -1, 64),
+		f(s.BatteryInWh, 'g', -1, 64), f(s.GreenLostWh, 'g', -1, 64),
+		f(s.BatteryEffLossWh, 'g', -1, 64), f(s.BatterySelfLossWh, 'g', -1, 64),
+		f(s.BatteryStoredWh, 'g', -1, 64), f(s.BatteryUsableWh, 'g', -1, 64),
+		f(s.BatterySoC, 'g', -1, 64),
+		i(s.Starts), i(s.Suspensions), i(s.Migrations), i(s.Promotions), i(s.Deferred),
+		i(s.NodesOn), i(s.DisksSpun), i(s.NodeBoots), i(s.NodeShutdowns),
+		i(s.DiskSpinUps), i(s.DiskSpinDowns), i(s.JobsRunning), i(s.JobsWaiting),
+		i(s.Completions), i(s.DeadlineMisses), i(s.ColdReads), i(s.UnservedReads),
+		i(s.NodeFailures), i(s.Evictions), b(s.CoverageOK), i(s.FailedNodes),
+	}
+	for k, cell := range row {
+		if k > 0 {
+			c.write(",")
+		}
+		c.write(cell)
+	}
+	c.write("\n")
+}
+
+// EndRun reports any sticky write error.
+func (c *CSV) EndRun(RunTotals) error { return c.err }
+
+// Prom renders the run's cumulative account as Prometheus text-exposition
+// gauges at EndRun (per-slot values are a time series, which the exposition
+// format snapshots rather than streams; scrape-style consumers want the
+// totals). It serves a single run.
+type Prom struct {
+	w   io.Writer
+	err error
+}
+
+// NewProm returns a Prometheus-text sink writing to w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// ObserveSlot is a no-op; Prom exposes end-of-run totals only.
+func (p *Prom) ObserveSlot(SlotTrace) {}
+
+// EndRun writes the exposition text.
+func (p *Prom) EndRun(tot RunTotals) error {
+	labels := fmt.Sprintf("policy=%q", tot.Policy)
+	if tot.Run != "" {
+		labels += fmt.Sprintf(",run=%q", tot.Run)
+	}
+	gauge := func(name, help string, v float64) {
+		if p.err != nil {
+			return
+		}
+		_, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s gauge\n%s{%s} %g\n",
+			name, help, name, name, labels, v)
+		if err != nil {
+			p.err = fmt.Errorf("audit: prom sink: %w", err)
+		}
+	}
+	gauge("greenmatch_slots", "Slots simulated.", float64(tot.Slots))
+	gauge("greenmatch_demand_wh", "IT-load energy in watt-hours.", tot.DemandWh)
+	gauge("greenmatch_migration_wh", "VM migration overhead energy.", tot.MigrationWh)
+	gauge("greenmatch_transition_wh", "Node/disk transition overhead energy.", tot.TransitionWh)
+	gauge("greenmatch_green_produced_wh", "Renewable energy produced.", tot.GreenProducedWh)
+	gauge("greenmatch_green_direct_wh", "Renewable energy consumed directly.", tot.GreenDirectWh)
+	gauge("greenmatch_battery_out_wh", "Energy delivered by the ESD.", tot.BatteryOutWh)
+	gauge("greenmatch_brown_wh", "Grid (brown) energy drawn.", tot.BrownWh)
+	gauge("greenmatch_battery_in_wh", "Surplus accepted by the ESD.", tot.BatteryInWh)
+	gauge("greenmatch_green_lost_wh", "Renewable energy lost.", tot.GreenLostWh)
+	gauge("greenmatch_battery_eff_loss_wh", "ESD charging-efficiency loss.", tot.BatteryEffLossWh)
+	gauge("greenmatch_battery_self_loss_wh", "ESD self-discharge loss.", tot.BatterySelfLossWh)
+	gauge("greenmatch_jobs_submitted", "Jobs submitted.", float64(tot.Submitted))
+	gauge("greenmatch_jobs_completed", "Jobs completed.", float64(tot.Completed))
+	gauge("greenmatch_deadline_misses", "Jobs that missed their deadline.", float64(tot.DeadlineMisses))
+	return p.err
+}

@@ -191,6 +191,19 @@ type Account struct {
 	SelfDischargeLoss units.Energy
 }
 
+// Sub returns the fieldwise difference a - prev: the per-interval flow
+// deltas between two snapshots of the cumulative account.
+func (a Account) Sub(prev Account) Account {
+	return Account{
+		InOffered:         a.InOffered - prev.InOffered,
+		InAccepted:        a.InAccepted - prev.InAccepted,
+		EfficiencyLoss:    a.EfficiencyLoss - prev.EfficiencyLoss,
+		Rejected:          a.Rejected - prev.Rejected,
+		Out:               a.Out - prev.Out,
+		SelfDischargeLoss: a.SelfDischargeLoss - prev.SelfDischargeLoss,
+	}
+}
+
 // TotalLoss returns all energy dissipated inside the battery (not counting
 // Rejected, which the caller may have redirected elsewhere).
 func (a Account) TotalLoss() units.Energy {

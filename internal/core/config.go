@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/forecast"
 	"repro/internal/sched"
@@ -89,6 +90,16 @@ type Config struct {
 	// NodeRepairSlots is how long a crashed node stays unavailable
 	// (default 24 when failures are enabled).
 	NodeRepairSlots int
+	// Observer, when non-nil, receives one audit.SlotTrace per simulated
+	// slot and the run totals at completion (see internal/audit). The trace
+	// layer is free when nil: the simulator gathers nothing. An Observer
+	// with mutable state (the Auditor, the CSV sink) must not be shared by
+	// Configs run concurrently — give each run its own, or share only a
+	// goroutine-safe sink (audit.JSONL). When the Observer is an
+	// audit.RunObserver and its EndRun returns an error, Run fails with it —
+	// this is how the conservation auditor turns a bookkeeping bug into a
+	// hard run failure.
+	Observer audit.Observer
 	// ModelUtilization enables the VM utilization model: jobs draw CPU at
 	// their per-slot UtilAt factor instead of their full reservation.
 	// Placement still provisions by reservation/over-commit (the genre's

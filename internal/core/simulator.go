@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -93,6 +94,17 @@ type Simulator struct {
 	nodeHours float64
 	diskHours float64
 
+	// Observability: obs receives one audit.SlotTrace per slot. The prev*
+	// snapshots turn cumulative accounts into per-slot deltas; they are
+	// only maintained when obs is non-nil, so the trace layer costs one nil
+	// check per slot when disabled.
+	obs           audit.Observer
+	prevSLA       metrics.SLAAccount
+	prevBat       battery.Account
+	prevBoots     int
+	prevShutdowns int
+	prevDisk      storage.DiskStats
+
 	// lastDrawW and lastRunDeferrable feed the self-correcting mandatory
 	// power estimate (previous slot's measured draw minus the deferrable
 	// jobs' planning share).
@@ -139,6 +151,7 @@ func New(cfg Config) (*Simulator, error) {
 		bat:     bat,
 		reads:   reads,
 		engine:  simevent.NewEngine(),
+		obs:     cfg.Observer,
 	}
 	s.fullCover = cluster.MinimalCover()
 	s.fullCoverNodes = make(map[int]bool)
@@ -221,6 +234,29 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	if err := s.checkConservation(res); err != nil {
 		return nil, err
+	}
+	if ro, ok := s.obs.(audit.RunObserver); ok && s.obs != nil {
+		tot := audit.RunTotals{
+			Policy:            res.Policy,
+			Slots:             res.Slots,
+			DemandWh:          float64(s.acct.Demand),
+			MigrationWh:       float64(s.acct.MigrationOverhead),
+			TransitionWh:      float64(s.acct.TransitionOverhead),
+			GreenProducedWh:   float64(s.acct.GreenProduced),
+			GreenDirectWh:     float64(s.acct.GreenDirect),
+			BatteryOutWh:      float64(s.acct.BatteryOut),
+			BrownWh:           float64(s.acct.Brown),
+			BatteryInWh:       float64(s.acct.BatteryInAccepted),
+			GreenLostWh:       float64(s.acct.GreenLost),
+			BatteryEffLossWh:  float64(s.acct.BatteryEffLoss),
+			BatterySelfLossWh: float64(s.acct.BatterySelfLoss),
+			Submitted:         s.sla.Submitted,
+			Completed:         s.sla.Completed,
+			DeadlineMisses:    s.sla.DeadlineMisses,
+		}
+		if err := ro.EndRun(tot); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -344,10 +380,12 @@ func (s *Simulator) step(t int) {
 	}
 
 	// 1. Promote slack-exhausted deferrable jobs to mandatory.
+	promoted := 0
 	kept := s.waiting[:0]
 	for _, st := range s.waiting {
 		if st.job.SlackAt(t, st.remaining) <= 0 {
 			st.mandatory = true
+			promoted++
 			s.mandQueue = append(s.mandQueue, st)
 		} else {
 			kept = append(kept, st)
@@ -358,6 +396,9 @@ func (s *Simulator) step(t int) {
 	// 2. Ask the policy for a plan.
 	view := s.buildView(t)
 	dec := s.cfg.Policy.Plan(view)
+	if err := dec.Check(view); err != nil {
+		panic(fmt.Sprintf("core: policy %s returned invalid decision: %v", s.cfg.Policy.Name(), err))
+	}
 
 	// 3. Apply suspensions (running deferrable -> waiting). Each one
 	// charges the VM save/restore energy alongside migrations.
@@ -365,9 +406,6 @@ func (s *Simulator) step(t int) {
 	if len(dec.SuspendRunning) > 0 {
 		suspendSet := make(map[int]bool, len(dec.SuspendRunning))
 		for _, idx := range dec.SuspendRunning {
-			if idx < 0 || idx >= len(view.RunningDeferrable) {
-				panic(fmt.Sprintf("core: policy %s suspended invalid index %d", s.cfg.Policy.Name(), idx))
-			}
 			suspendSet[view.RunningDeferrable[idx].Job.ID] = true
 		}
 		keptRunning := s.running[:0]
@@ -392,9 +430,6 @@ func (s *Simulator) step(t int) {
 	// resolve by ID to stay robust.
 	startIDs := make(map[int]bool)
 	for _, idx := range dec.StartWaiting {
-		if idx < 0 || idx >= len(view.Waiting) {
-			panic(fmt.Sprintf("core: policy %s started invalid index %d", s.cfg.Policy.Name(), idx))
-		}
 		startIDs[view.Waiting[idx].Job.ID] = true
 	}
 	var toStart []*jobState
@@ -412,7 +447,9 @@ func (s *Simulator) step(t int) {
 	// 5. Placement (returns migration energy; together with suspension
 	// energy it forms the VM-management overhead, accounted separately
 	// from transition overhead but part of the slot's load).
+	runningBefore := len(s.running)
 	migE := s.place(t, toStart, dec.Consolidate) + mgmtE
+	started := len(s.running) - runningBefore
 
 	// 6. Node power management + disk plan.
 	overhead += s.applyPowerPlan(dec.SpinDownDisks)
@@ -525,7 +562,102 @@ func (s *Simulator) step(t int) {
 			JobsWaiting: len(s.waiting) + len(s.mandQueue),
 		})
 	}
+	if s.obs != nil {
+		s.emitTrace(t, h, slotFlows{
+			demand: demandE, overhead: overhead, mig: migE, load: load,
+			greenAvail: greenAvail, greenDirect: greenDirect, batOut: batOut,
+			brown: brown, surplus: surplus, accepted: accepted,
+		}, dec, promoted, started, jobsRunning, spun)
+	}
 	s.cluster.ResetSlot()
+}
+
+// slotFlows carries one slot's settled energy quantities into emitTrace.
+type slotFlows struct {
+	demand, overhead, mig, load     units.Energy
+	greenAvail, greenDirect, batOut units.Energy
+	brown, surplus, accepted        units.Energy
+}
+
+// emitTrace assembles the slot's audit.SlotTrace — per-slot deltas of the
+// cumulative accounts, end-of-slot battery and fleet state, and the replica
+// coverage predicate — and hands it to the configured observer. Only called
+// when an observer is configured; the prev* snapshots it maintains exist
+// for no other purpose.
+func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision, promoted, started, jobsRunning, spun int) {
+	batAcct := s.bat.Account()
+	batDelta := batAcct.Sub(s.prevBat)
+	s.prevBat = batAcct
+	slaDelta := s.sla.Sub(s.prevSLA)
+	s.prevSLA = s.sla
+
+	boots, shutdowns := 0, 0
+	active := make(map[storage.DiskID]bool)
+	for _, n := range s.cluster.Nodes() {
+		boots += n.Boots
+		shutdowns += n.Shutdowns
+		if !n.Powered {
+			continue
+		}
+		for _, d := range n.Disks {
+			if d.SpunUp() {
+				active[d.ID] = true
+			}
+		}
+	}
+	disk := s.cluster.DiskStatsTotal()
+
+	unbounded := math.IsInf(float64(s.bat.Capacity()), 1)
+	usable := float64(s.bat.UsableCapacity())
+	if unbounded {
+		usable = 0
+	}
+	tr := audit.SlotTrace{
+		Slot:              t,
+		Policy:            s.cfg.Policy.Name(),
+		SlotHours:         h,
+		DemandWh:          float64(fl.demand),
+		MigrationWh:       float64(fl.mig),
+		TransitionWh:      float64(fl.overhead),
+		LoadWh:            float64(fl.load),
+		GreenAvailWh:      float64(fl.greenAvail),
+		GreenDirectWh:     float64(fl.greenDirect),
+		BatteryOutWh:      float64(fl.batOut),
+		BrownWh:           float64(fl.brown),
+		BatteryInWh:       float64(fl.accepted),
+		GreenLostWh:       float64(fl.surplus - fl.accepted),
+		BatteryEffLossWh:  float64(batDelta.EfficiencyLoss),
+		BatterySelfLossWh: float64(batDelta.SelfDischargeLoss),
+		BatteryStoredWh:   float64(s.bat.Stored()),
+		BatteryUsableWh:   usable,
+		BatterySoC:        s.bat.SoC(),
+		BatteryUnbounded:  unbounded,
+		Starts:            started,
+		Suspensions:       slaDelta.Suspensions,
+		Migrations:        slaDelta.Migrations,
+		Promotions:        promoted,
+		Deferred:          len(s.waiting),
+		Consolidate:       dec.Consolidate,
+		SpinDownDisks:     dec.SpinDownDisks,
+		NodesOn:           len(s.cluster.PoweredNodes()),
+		DisksSpun:         spun,
+		NodeBoots:         boots - s.prevBoots,
+		NodeShutdowns:     shutdowns - s.prevShutdowns,
+		DiskSpinUps:       disk.SpinUps - s.prevDisk.SpinUps,
+		DiskSpinDowns:     disk.SpinDowns - s.prevDisk.SpinDowns,
+		JobsRunning:       jobsRunning,
+		JobsWaiting:       len(s.waiting) + len(s.mandQueue),
+		Completions:       slaDelta.Completed,
+		DeadlineMisses:    slaDelta.DeadlineMisses,
+		ColdReads:         slaDelta.ColdReads,
+		UnservedReads:     slaDelta.UnservedReads,
+		NodeFailures:      slaDelta.NodeFailures,
+		Evictions:         slaDelta.Evictions,
+		CoverageOK:        s.cluster.CoverageOK(active),
+		FailedNodes:       len(s.repairAt),
+	}
+	s.prevBoots, s.prevShutdowns, s.prevDisk = boots, shutdowns, disk
+	s.obs.ObserveSlot(tr)
 }
 
 // buildView assembles the policy's view of the current slot.

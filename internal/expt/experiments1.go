@@ -54,7 +54,7 @@ func runE1(p Params) ([]*metrics.Table, error) {
 	cfg := baseScenario(p)
 	cfg.Green = greenFor(p, ReferenceAreaM2)
 	cfg.RecordSeries = true
-	res, err := runOrErr("E1", cfg)
+	res, err := runOrErr("E1", p, cfg)
 	if err != nil {
 		return nil, err
 	}

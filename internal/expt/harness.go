@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -38,6 +39,33 @@ type Params struct {
 	// points are independent core.Run invocations and rows are assembled
 	// from index-addressed result slots.
 	Workers int
+	// Audit attaches a fresh energy-conservation auditor (internal/audit)
+	// to every grid-point run; any invariant violation fails the
+	// experiment with a term-by-term residual in the error.
+	Audit bool
+	// AuditSink, when non-nil, additionally receives every slot trace of
+	// every run, labeled "<experiment>/<grid point>". The sink is shared
+	// across the sweep's concurrent workers and so must be goroutine-safe
+	// (audit.NewJSONL is; the CSV sink and the Auditor are not — the
+	// harness gives each run its own Auditor for exactly that reason).
+	AuditSink audit.Observer
+}
+
+// instrument attaches the audit observer chain to one labeled grid-point
+// config. A no-op (nil Observer, zero simulator overhead) unless auditing
+// or a sink was requested.
+func (p Params) instrument(run string, cfg core.Config) core.Config {
+	var obs []audit.Observer
+	if p.Audit {
+		obs = append(obs, audit.NewAuditor())
+	}
+	if p.AuditSink != nil {
+		obs = append(obs, p.AuditSink)
+	}
+	if len(obs) > 0 {
+		cfg.Observer = audit.Labeled(run, audit.Tee(obs...))
+	}
+	return cfg
 }
 
 func (p Params) scale() float64 {
@@ -195,9 +223,10 @@ func kwhGrid(p Params, maxKWh, stepKWh float64) []units.Energy {
 	return out
 }
 
-// runOrErr wraps core.Run with experiment-context errors.
-func runOrErr(id string, cfg core.Config) (*core.Result, error) {
-	res, err := core.Run(cfg)
+// runOrErr wraps core.Run with experiment-context errors and the Params'
+// audit instrumentation.
+func runOrErr(id string, p Params, cfg core.Config) (*core.Result, error) {
+	res, err := core.Run(p.instrument(id+"/ref", cfg))
 	if err != nil {
 		return nil, fmt.Errorf("expt %s: %w", id, err)
 	}
@@ -226,7 +255,7 @@ func sweep(id string, p Params, points []gridPoint) ([]*core.Result, error) {
 	jobs := make([]runner.Job, len(points))
 	for i, pt := range points {
 		jobs[i] = runner.Job{Label: pt.label, Run: func() (any, error) {
-			return core.Run(pt.build())
+			return core.Run(p.instrument(id+"/"+pt.label, pt.build()))
 		}}
 	}
 	outs := runner.Sweep(jobs, runner.Options{Workers: p.Workers})

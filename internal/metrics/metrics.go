@@ -133,6 +133,29 @@ type SLAAccount struct {
 	ThrottledSlots int
 }
 
+// Sub returns the fieldwise difference s - prev: the per-interval deltas
+// between two snapshots of a cumulative account. The observability layer
+// uses it to turn end-of-slot snapshots into per-slot event counts.
+func (s SLAAccount) Sub(prev SLAAccount) SLAAccount {
+	return SLAAccount{
+		Submitted:           s.Submitted - prev.Submitted,
+		Completed:           s.Completed - prev.Completed,
+		DeadlineMisses:      s.DeadlineMisses - prev.DeadlineMisses,
+		TotalWaitSlots:      s.TotalWaitSlots - prev.TotalWaitSlots,
+		MaxWaitSlots:        s.MaxWaitSlots - prev.MaxWaitSlots,
+		Migrations:          s.Migrations - prev.Migrations,
+		Suspensions:         s.Suspensions - prev.Suspensions,
+		ColdReads:           s.ColdReads - prev.ColdReads,
+		UnservedReads:       s.UnservedReads - prev.UnservedReads,
+		NodeFailures:        s.NodeFailures - prev.NodeFailures,
+		Evictions:           s.Evictions - prev.Evictions,
+		RepairJobsGenerated: s.RepairJobsGenerated - prev.RepairJobsGenerated,
+		OverloadEvents:      s.OverloadEvents - prev.OverloadEvents,
+		OverloadMigrations:  s.OverloadMigrations - prev.OverloadMigrations,
+		ThrottledSlots:      s.ThrottledSlots - prev.ThrottledSlots,
+	}
+}
+
 // MeanWaitSlots returns the average pre-start wait per completed job.
 func (s SLAAccount) MeanWaitSlots() float64 {
 	if s.Completed == 0 {

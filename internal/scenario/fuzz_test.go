@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead drives arbitrary bytes through the scenario loader and, when a
+// scenario parses, through Scaled, the JSON round-trip, and a
+// resource-bounded Compile. The loader must reject garbage with an error —
+// never a panic — and everything it accepts must compile or fail cleanly.
+func FuzzRead(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no scenario corpus found")
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"policy":"defer","fraction":0.5,"battery_kwh":1e308}`))
+	f.Add([]byte(`{"source":"hybrid","turbines":-3,"workload_scale":-1}`))
+	f.Add([]byte(`{"hot_tier_nodes":1,"hot_share":0.99,"nodes":2}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly; that's the contract
+		}
+
+		// Scaling must never panic, whatever the field values.
+		_ = s.Scaled(0.25)
+		_ = s.Scaled(4)
+
+		// A scenario that parsed must survive the JSON round-trip
+		// losslessly (NaN/Inf can't be serialized — skip those).
+		var buf bytes.Buffer
+		if werr := s.Write(&buf); werr == nil {
+			back, rerr := Read(&buf)
+			if rerr != nil {
+				t.Fatalf("round-trip re-read failed: %v\n%s", rerr, buf.Bytes())
+			}
+			if !reflect.DeepEqual(s, back) {
+				t.Fatalf("round-trip changed the scenario:\n in  %+v\n out %+v", s, back)
+			}
+		}
+
+		// Compile generates full workload and supply traces; bound the
+		// sizes so a fuzzer-invented petabyte cluster stays a unit test.
+		cfg, err := bounded(s).Compile()
+		if err != nil {
+			return // descriptive rejection is fine
+		}
+		if cfg.Green == nil || cfg.Policy == nil {
+			t.Fatalf("Compile returned incomplete config without error: %+v", cfg)
+		}
+	})
+}
+
+// bounded clamps the resource-proportional fields so Compile stays cheap,
+// while leaving the structural fields (policy, source, tiers, chemistry)
+// untouched — those are where the parsing and validation bugs live.
+func bounded(s Scenario) Scenario {
+	clampF := func(v *float64, lo, hi float64) {
+		if math.IsNaN(*v) || *v < lo {
+			*v = lo
+		} else if *v > hi {
+			*v = hi
+		}
+	}
+	clampI := func(v *int, lo, hi int) {
+		if *v < lo {
+			*v = lo
+		} else if *v > hi {
+			*v = hi
+		}
+	}
+	clampI(&s.Nodes, 0, 16)
+	clampI(&s.Objects, 0, 400)
+	clampI(&s.HotTierNodes, 0, 15)
+	clampF(&s.WorkloadScale, 0.01, 0.05)
+	clampF(&s.AreaM2, 0, 500)
+	clampI(&s.Turbines, 0, 4)
+	clampI(&s.SupplySlots, 0, 240)
+	clampF(&s.BatteryKWh, 0, 100)
+	clampF(&s.ReadsPerSlot, 0, 100)
+	clampF(&s.FailureMTBFHours, 0, 1e6)
+	clampI(&s.NodeRepairSlots, 0, 100)
+	return s
+}

@@ -100,6 +100,54 @@ func Default() Scenario {
 	}
 }
 
+// Scaled returns a proportionally shrunk (or grown) copy of the scenario:
+// cluster size, workload, supply, ESD and read traffic all scale by f,
+// subject to the floors the substrates require (4 nodes, 100 objects, one
+// turbine, at least one node per tier). Scaled(1) is the identity. The
+// golden regression tests and `gmtrace -kind run -scale` use it to run
+// paper-scale scenario files quickly.
+func (s Scenario) Scaled(f float64) Scenario {
+	if f <= 0 || f == 1 {
+		return s
+	}
+	round := func(n int) int { return int(math.Round(float64(n) * f)) }
+	nodes := s.Nodes
+	if nodes == 0 {
+		nodes = storage.DefaultConfig().Nodes
+	}
+	s.Nodes = maxi(4, round(nodes))
+	objects := s.Objects
+	if objects == 0 {
+		objects = storage.DefaultConfig().Objects
+	}
+	s.Objects = maxi(100, round(objects))
+	if s.HotTierNodes > 0 {
+		s.HotTierNodes = maxi(1, round(s.HotTierNodes))
+		if s.HotTierNodes >= s.Nodes {
+			s.HotTierNodes = s.Nodes - 1
+		}
+	}
+	ws := s.WorkloadScale
+	if ws <= 0 {
+		ws = 1
+	}
+	s.WorkloadScale = ws * f
+	s.AreaM2 *= f
+	if s.Turbines > 0 {
+		s.Turbines = maxi(1, round(s.Turbines))
+	}
+	s.BatteryKWh *= f
+	s.ReadsPerSlot *= f
+	return s
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // Read parses a scenario from JSON. Unknown fields are rejected so typos in
 // scenario files fail loudly instead of silently running the default.
 func Read(r io.Reader) (Scenario, error) {

@@ -16,6 +16,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -89,6 +91,24 @@ type Decision struct {
 	// SpinDownDisks asks the simulator to park every disk not needed for
 	// replica coverage or by I/O-bound jobs.
 	SpinDownDisks bool
+}
+
+// Check validates the decision against the view it answers: every start
+// index must address View.Waiting and every suspend index
+// View.RunningDeferrable. The simulator treats a failed check as a policy
+// bug and panics with the returned error.
+func (d Decision) Check(v View) error {
+	for _, idx := range d.StartWaiting {
+		if idx < 0 || idx >= len(v.Waiting) {
+			return fmt.Errorf("sched: start index %d outside waiting set of %d", idx, len(v.Waiting))
+		}
+	}
+	for _, idx := range d.SuspendRunning {
+		if idx < 0 || idx >= len(v.RunningDeferrable) {
+			return fmt.Errorf("sched: suspend index %d outside running-deferrable set of %d", idx, len(v.RunningDeferrable))
+		}
+	}
+	return nil
 }
 
 // Policy plans one slot at a time.

@@ -1,0 +1,113 @@
+package greenmatch
+
+// Golden regression tests over the shipped scenario files: every
+// scenarios/*.json is scaled to a quarter, simulated with the conservation
+// auditor attached, and its headline outcomes — brown energy, losses,
+// deadline misses, unserved reads — are pinned against a committed golden.
+// This catches behavioural drift that the unit suites are too narrow to
+// see. After an intentional simulator change, regenerate with:
+//
+//	go test -run TestScenarioGolden -update ./...
+//
+// (UPDATE_GOLDEN=1 in the environment works too, matching the expt
+// package's convention.)
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current results")
+
+const goldenScale = 0.25
+
+func TestScenarioGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs in -short mode")
+	}
+	files, err := filepath.Glob("scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no scenario files found")
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := runScenarioSummary(t, file)
+			path := filepath.Join("testdata", "scenarios", name+".golden")
+			if *updateGolden || os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("golden updated: %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("scenario %s drifted from golden %s:\n--- want\n%s--- got\n%s",
+					file, path, want, got)
+			}
+		})
+	}
+}
+
+// runScenarioSummary simulates one scenario file at golden scale, audited,
+// and formats the pinned outcome summary.
+func runScenarioSummary(t *testing.T, file string) string {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Scaled(goldenScale).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := audit.NewAuditor()
+	cfg.Observer = auditor
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("run failed (audit violations: %v): %v", auditor.Violations(), err)
+	}
+	if n := auditor.ViolationCount(); n != 0 {
+		t.Fatalf("%d conservation violations: %v", n, auditor.Violations())
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s @ scale %.2f\n", sc.Name, goldenScale)
+	fmt.Fprintf(&b, "policy: %s\n", res.Policy)
+	fmt.Fprintf(&b, "slots: %d\n", res.Slots)
+	fmt.Fprintf(&b, "brown_kwh: %.3f\n", float64(res.Energy.Brown)/1000)
+	fmt.Fprintf(&b, "green_lost_kwh: %.3f\n", float64(res.Energy.GreenLost)/1000)
+	fmt.Fprintf(&b, "battery_loss_kwh: %.3f\n",
+		float64(res.Battery.EfficiencyLoss+res.Battery.SelfDischargeLoss)/1000)
+	fmt.Fprintf(&b, "migration_kwh: %.3f\n", float64(res.Energy.MigrationOverhead)/1000)
+	fmt.Fprintf(&b, "transition_kwh: %.3f\n", float64(res.Energy.TransitionOverhead)/1000)
+	fmt.Fprintf(&b, "completed: %d/%d\n", res.SLA.Completed, res.SLA.Submitted)
+	fmt.Fprintf(&b, "deadline_misses: %d\n", res.SLA.DeadlineMisses)
+	fmt.Fprintf(&b, "unserved_reads: %d\n", res.SLA.UnservedReads)
+	return b.String()
+}
