@@ -69,13 +69,25 @@ func main() {
 		defer f.Close()
 		p.AuditSink = audit.NewJSONL(f) // goroutine-safe: shared by sweep workers
 	}
+	// Experiment failures don't fail fast: the rest of the suite still
+	// runs and prints, the failures are aggregated into one table at the
+	// end, and the exit status reports them. A 21-experiment audit gate
+	// should name every violator, not just the first.
+	type failure struct {
+		id  string
+		err error
+	}
+	var failures []failure
 	var sections []report.Section
 	for _, e := range toRun {
 		fmt.Printf("== %s (%s): %s ==\n", e.ID, e.Kind, e.Title)
 		tables, err := e.Run(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gmexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			failures = append(failures, failure{id: e.ID, err: err})
+			if len(tables) == 0 {
+				continue // nothing partial to print
+			}
 		}
 		for _, t := range tables {
 			var werr error
@@ -86,7 +98,8 @@ func main() {
 			}
 			if werr != nil {
 				fmt.Fprintf(os.Stderr, "gmexp: %s: %v\n", e.ID, werr)
-				os.Exit(1)
+				failures = append(failures, failure{id: e.ID, err: werr})
+				break
 			}
 			fmt.Println()
 		}
@@ -125,6 +138,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *html)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\ngmexp: %d of %d experiments failed:\n", len(failures), len(toRun))
+		for _, f := range failures {
+			// The runner's aggregated errors are multi-line; indent them
+			// under their experiment so the table stays scannable.
+			msg := strings.ReplaceAll(f.err.Error(), "\n", "\n    ")
+			fmt.Fprintf(os.Stderr, "  %-4s %s\n", f.id, msg)
+		}
+		os.Exit(1)
 	}
 	if *doAudit {
 		fmt.Fprintf(os.Stderr, "gmexp: audit passed: every run conserved energy within tolerance\n")

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/forecast"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -253,4 +254,42 @@ type (
 // Config.RecordSeries) against an intensity signal, in kg CO2e.
 func CarbonFootprint(res *Result, in CarbonIntensity) (float64, error) {
 	return carbon.Footprint(res.Series, in)
+}
+
+// Fault injection (see internal/fault and docs/FAULTS.md): a declarative,
+// seed-deterministic schedule of platform misbehaviour — crash storms,
+// supply derating and dropouts, grid curtailment, battery fade and
+// outages, forecast corruption — set on Config.Faults or in a scenario
+// file's "faults" block.
+type (
+	// FaultConfig is the fault schedule of a run; the zero value injects
+	// nothing.
+	FaultConfig = fault.Config
+	// FaultEvent is one scheduled fault window.
+	FaultEvent = fault.Event
+	// FaultKind names a fault event type.
+	FaultKind = fault.Kind
+	// DegradeAccount summarizes a run's degraded-mode exposure
+	// (Result.Degrade).
+	DegradeAccount = metrics.DegradeAccount
+)
+
+// The fault kinds a FaultEvent can schedule.
+const (
+	FaultNodeCrash       = fault.KindNodeCrash
+	FaultCrashStorm      = fault.KindCrashStorm
+	FaultPVDerate        = fault.KindPVDerate
+	FaultPVDropout       = fault.KindPVDropout
+	FaultGridCurtailment = fault.KindGridCurtailment
+	FaultChargerOffline  = fault.KindChargerOffline
+	FaultBatteryIdle     = fault.KindBatteryIdle
+	FaultBatteryFade     = fault.KindBatteryFade
+	FaultForecastBias    = fault.KindForecastBias
+	FaultForecastNoise   = fault.KindForecastNoise
+)
+
+// GenerateFaults draws the random but fully seed-deterministic fault
+// schedule the chaos harness uses; see fault.GenSpec for the knobs.
+func GenerateFaults(seed int64, spec fault.GenSpec) FaultConfig {
+	return fault.Generate(seed, spec)
 }

@@ -145,6 +145,7 @@ func (a *Auditor) ObserveSlot(s SlotTrace) {
 		{"migrations", float64(s.Migrations)}, {"promotions", float64(s.Promotions)},
 		{"completions", float64(s.Completions)}, {"deadline_misses", float64(s.DeadlineMisses)},
 		{"cold_reads", float64(s.ColdReads)}, {"unserved_reads", float64(s.UnservedReads)},
+		{"supply_fault_wh", s.SupplyFaultWh},
 	} {
 		if t.Value < -a.tol() || math.IsNaN(t.Value) {
 			a.record(Violation{Slot: s.Slot, Run: s.Run, Policy: s.Policy,
@@ -215,6 +216,19 @@ func (a *Auditor) ObserveSlot(s SlotTrace) {
 		a.record(Violation{Slot: s.Slot, Run: s.Run, Policy: s.Policy,
 			Invariant: "replica-coverage", Residual: 1,
 			Terms: []Term{{"disks_spun", float64(s.DisksSpun)}, {"nodes_on", float64(s.NodesOn)}}})
+	}
+
+	// Fault-injection consistency: crashed nodes imply degraded mode, and
+	// the fade factor (when reported) is a fraction.
+	if s.FailedNodes > 0 && !s.DegradedMode {
+		a.record(Violation{Slot: s.Slot, Run: s.Run, Policy: s.Policy,
+			Invariant: "degraded-flag", Residual: float64(s.FailedNodes),
+			Terms: []Term{{"failed_nodes", float64(s.FailedNodes)}}})
+	}
+	if s.BatteryFadeFactor < -a.tol() || s.BatteryFadeFactor > 1+a.tol() {
+		a.record(Violation{Slot: s.Slot, Run: s.Run, Policy: s.Policy,
+			Invariant: "fade-bounds", Residual: s.BatteryFadeFactor,
+			Terms: []Term{{"battery_fade_factor", s.BatteryFadeFactor}}})
 	}
 
 	a.sumDemand += s.DemandWh

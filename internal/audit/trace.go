@@ -97,6 +97,19 @@ type SlotTrace struct {
 	// node count (coverage may legitimately be partial while nodes are down).
 	CoverageOK  bool `json:"coverage_ok"`
 	FailedNodes int  `json:"failed_nodes"`
+
+	// Fault injection (all zero-valued when no fault engine is configured).
+	// FaultsActive lists the scheduled fault kinds whose windows cover this
+	// slot, sorted. SupplyFaultWh is renewable production withheld by
+	// supply-side faults (derating, dropouts, curtailment); GreenAvailWh is
+	// what survived them. BatteryFadeFactor is the capacity fade multiplier
+	// in effect (1 when fault injection is on but the battery is unfaded; 0
+	// means fault injection is off). DegradedMode marks slots the simulator
+	// counted as degraded: crashed nodes or an active fault window.
+	FaultsActive      []string `json:"faults_active,omitempty"`
+	SupplyFaultWh     float64  `json:"supply_fault_wh,omitempty"`
+	BatteryFadeFactor float64  `json:"battery_fade_factor,omitempty"`
+	DegradedMode      bool     `json:"degraded_mode,omitempty"`
 }
 
 // RunTotals is the cumulative account of a completed run, handed to

@@ -214,7 +214,8 @@ func (a Account) TotalLoss() units.Energy {
 type Battery struct {
 	spec     Spec
 	capacity units.Energy // nominal size C
-	stored   units.Energy // current store, always in [0, DoD*C]
+	fadeLoss float64      // capacity fraction lost to fade, in [0,1]; 0 when healthy
+	stored   units.Energy // current store, always in [0, DoD*(1-fadeLoss)*C]
 	acct     Account
 }
 
@@ -251,18 +252,70 @@ func Infinite(spec Spec) *Battery {
 // Spec returns the chemistry parameters.
 func (b *Battery) Spec() Spec { return b.spec }
 
-// Capacity returns the nominal capacity C.
+// Capacity returns the nominal capacity C (fade does not change it; see
+// EffectiveCapacity).
 func (b *Battery) Capacity() units.Energy { return b.capacity }
 
 // Stored returns the current store.
 func (b *Battery) Stored() units.Energy { return b.stored }
 
-// UsableCapacity returns DoD*C, the ceiling on Stored.
+// EffectiveCapacity returns the faded capacity fade*C that rate limits and
+// the usable ceiling derive from; equal to Capacity while the battery is
+// healthy.
+func (b *Battery) EffectiveCapacity() units.Energy {
+	if math.IsInf(float64(b.capacity), 1) {
+		return b.capacity
+	}
+	return units.Energy(float64(b.capacity) * b.fadeFactor())
+}
+
+// FadeFactor returns the capacity fade factor in effect, 1 when healthy.
+func (b *Battery) FadeFactor() float64 { return b.fadeFactor() }
+
+func (b *Battery) fadeFactor() float64 {
+	f := 1 - b.fadeLoss
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Derate applies capacity fade: factor in [0,1] scales the effective
+// capacity (and with it the usable ceiling and the C-rate limits, which are
+// fractions of capacity). Stored energy above the new ceiling is clamped
+// out and booked as self-discharge loss, so the battery's conservation
+// identity keeps holding through fade. Returns the clamped energy. Fade is
+// absolute, not incremental: call with the current cumulative factor. A
+// no-op for the infinite battery.
+func (b *Battery) Derate(factor float64) units.Energy {
+	if math.IsInf(float64(b.capacity), 1) {
+		return 0
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	b.fadeLoss = 1 - factor
+	var clamped units.Energy
+	if u := b.UsableCapacity(); b.stored > u {
+		clamped = b.stored - u
+		b.stored = u
+		b.acct.SelfDischargeLoss += clamped
+	}
+	return clamped
+}
+
+// UsableCapacity returns DoD*fade*C, the ceiling on Stored.
 func (b *Battery) UsableCapacity() units.Energy {
 	if math.IsInf(float64(b.capacity), 1) {
 		return b.capacity
 	}
-	return units.Energy(float64(b.capacity) * b.spec.DoD)
+	return units.Energy(float64(b.EffectiveCapacity()) * b.spec.DoD)
 }
 
 // SoC returns the state of charge as stored / usable capacity, in [0,1].
@@ -288,7 +341,7 @@ func (b *Battery) maxChargeEnergy(dtHours float64) units.Energy {
 	if math.IsInf(float64(b.capacity), 1) {
 		return units.Energy(math.Inf(1))
 	}
-	rateCap := units.Energy(float64(b.capacity) * b.spec.ChargeRatePerHour * dtHours)
+	rateCap := units.Energy(float64(b.EffectiveCapacity()) * b.spec.ChargeRatePerHour * dtHours)
 	free := b.UsableCapacity() - b.stored
 	if free < 0 {
 		free = 0
@@ -307,7 +360,7 @@ func (b *Battery) maxDischargeEnergy(dtHours float64) units.Energy {
 	if math.IsInf(float64(b.capacity), 1) {
 		return b.stored
 	}
-	rateCap := units.Energy(float64(b.capacity) * b.spec.ChargeRatePerHour * b.spec.DischargeChargeRatio * dtHours)
+	rateCap := units.Energy(float64(b.EffectiveCapacity()) * b.spec.ChargeRatePerHour * b.spec.DischargeChargeRatio * dtHours)
 	return units.MinEnergy(rateCap, b.stored)
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/battery"
+	"repro/internal/fault"
 	"repro/internal/forecast"
 	"repro/internal/sched"
 	"repro/internal/solar"
@@ -85,11 +86,18 @@ type Config struct {
 	// FailureMTBFHours enables node-failure injection: each powered node
 	// crashes with probability slotHours/MTBF per slot. Zero disables.
 	// A crash evicts the node's jobs, degrades replica redundancy, and
-	// synthesizes Repair-class re-replication jobs.
+	// synthesizes Repair-class re-replication jobs. Deprecated in favour of
+	// Faults.CrashMTBFHours, which it folds into (same seeded draw
+	// sequence); kept so existing configs and scenarios keep working.
 	FailureMTBFHours float64
 	// NodeRepairSlots is how long a crashed node stays unavailable
-	// (default 24 when failures are enabled).
+	// (default 24 when failures are enabled). Folds into
+	// Faults.CrashRepairSlots alongside FailureMTBFHours.
 	NodeRepairSlots int
+	// Faults is the declarative fault-injection schedule: the random crash
+	// process plus scheduled supply, battery, crash and forecast fault
+	// windows (see internal/fault). The zero value injects nothing.
+	Faults fault.Config
 	// Observer, when non-nil, receives one audit.SlotTrace per simulated
 	// slot and the run totals at completion (see internal/audit). The trace
 	// layer is free when nil: the simulator gathers nothing. An Observer
@@ -194,6 +202,9 @@ func (c Config) Validate() error {
 	if c.NodeRepairSlots < 0 {
 		return fmt.Errorf("core: negative repair duration %d", c.NodeRepairSlots)
 	}
+	if err := c.Faults.Validate(c.Cluster.TotalNodes()); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -229,6 +240,15 @@ func (c Config) ApplyDefaults() Config {
 	}
 	if c.FailureMTBFHours > 0 && c.NodeRepairSlots == 0 {
 		c.NodeRepairSlots = 24
+	}
+	// Fold the legacy failure fields into the fault schedule; the engine
+	// reproduces their seeded draw sequence exactly, so configs written
+	// against either spelling behave identically.
+	if c.FailureMTBFHours > 0 && c.Faults.CrashMTBFHours == 0 {
+		c.Faults.CrashMTBFHours = c.FailureMTBFHours
+		if c.Faults.CrashRepairSlots == 0 {
+			c.Faults.CrashRepairSlots = c.NodeRepairSlots
+		}
 	}
 	return c
 }

@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/battery"
+	"repro/internal/fault"
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/simevent"
 	"repro/internal/stats"
@@ -61,6 +61,9 @@ type Result struct {
 	// ReadLatencyMs digests the per-read service latency (cold reads pay
 	// the spin-up wait).
 	ReadLatencyMs stats.Summary
+	// Degrade is the fault-injection degradation account (all zero when no
+	// fault is configured).
+	Degrade metrics.DegradeAccount
 	// Series is the per-slot trace (nil unless Config.RecordSeries).
 	Series *metrics.TimeSeries
 }
@@ -111,10 +114,19 @@ type Simulator struct {
 	lastDrawW         units.Power
 	lastRunDeferrable int
 
-	// Failure injection state.
-	failStream *rng.Stream
-	repairAt   map[int]int // failed node -> slot it returns to service
-	nextJobID  int         // for synthesized repair jobs
+	// Fault injection state. faults is nil when no fault is configured —
+	// the legacy MTBF process, once folded into cfg.Faults, runs through
+	// the engine with its historical draw sequence intact.
+	faults    *fault.Engine
+	repairAt  map[int]int // failed node -> slot it returns to service
+	nextJobID int         // for synthesized repair jobs
+
+	// Degradation accounting: an episode opens when faults become active
+	// and closes when the backlog drains back to its pre-episode level.
+	degrade         metrics.DegradeAccount
+	inEpisode       bool
+	backlogBaseline int
+	prevBacklog     int
 }
 
 // New validates the config (after applying defaults) and builds a simulator.
@@ -169,8 +181,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.RecordSeries {
 		s.series = &metrics.TimeSeries{}
 	}
-	if cfg.FailureMTBFHours > 0 {
-		s.failStream = rng.New(cfg.Seed, "node-failures")
+	if s.faults = fault.NewEngine(cfg.Faults, cfg.Seed, cfg.SlotHours); s.faults != nil {
 		s.repairAt = make(map[int]int)
 	}
 	return s, nil
@@ -230,6 +241,7 @@ func (s *Simulator) Run() (*Result, error) {
 		NodeHours:         s.nodeHours,
 		DiskSpunHours:     s.diskHours,
 		ReadLatencyMs:     s.reads.Latencies.Summarize(),
+		Degrade:           s.degrade,
 		Series:            s.series,
 	}
 	if err := s.checkConservation(res); err != nil {
@@ -295,7 +307,8 @@ func (s *Simulator) admit(j workload.Job) {
 	}
 }
 
-// stepFailures injects node crashes and processes repairs at slot t.
+// stepFailures processes repairs and injects the fault engine's node
+// crashes at slot t.
 func (s *Simulator) stepFailures(t int) {
 	// Repaired nodes return to service (powered off; the power plan may
 	// boot them when needed).
@@ -305,54 +318,65 @@ func (s *Simulator) stepFailures(t int) {
 			delete(s.repairAt, id)
 		}
 	}
-	pFail := s.cfg.SlotHours / s.cfg.FailureMTBFHours
+	// The engine draws its MTBF Bernoullis over the healthy powered nodes
+	// in node order — the historical draw discipline — then appends any
+	// event-scheduled crashes.
+	var healthyPowered []int
 	for _, n := range s.cluster.Nodes() {
-		if n.Failed || !n.Powered {
+		if !n.Failed && n.Powered {
+			healthyPowered = append(healthyPowered, n.ID)
+		}
+	}
+	for _, c := range s.faults.Crashes(t, healthyPowered) {
+		if s.cluster.Node(c.Node).Failed {
+			continue // an explicit event named a node already down
+		}
+		s.crashNode(t, c.Node, c.RepairSlots)
+	}
+}
+
+// crashNode fails one node: evicts its jobs, schedules its repair, and
+// synthesizes re-replication work.
+func (s *Simulator) crashNode(t, node, repairSlots int) {
+	lost := s.cluster.FailNode(node)
+	s.sla.NodeFailures++
+	s.repairAt[node] = t + repairSlots
+	// Evict the node's jobs: progress is kept (the VM image survives
+	// on shared replicas), placement is lost.
+	kept := s.running[:0]
+	for _, st := range s.running {
+		if st.node != node {
+			kept = append(kept, st)
 			continue
 		}
-		if !s.failStream.Bernoulli(pFail) {
-			continue
+		st.running = false
+		st.node = -1
+		s.sla.Evictions++
+		if st.mandatory {
+			s.mandQueue = append(s.mandQueue, st)
+		} else {
+			s.waiting = append(s.waiting, st)
 		}
-		lost := s.cluster.FailNode(n.ID)
-		s.sla.NodeFailures++
-		s.repairAt[n.ID] = t + s.cfg.NodeRepairSlots
-		// Evict the node's jobs: progress is kept (the VM image survives
-		// on shared replicas), placement is lost.
-		kept := s.running[:0]
-		for _, st := range s.running {
-			if st.node != n.ID {
-				kept = append(kept, st)
-				continue
-			}
-			st.running = false
-			st.node = -1
-			s.sla.Evictions++
-			if st.mandatory {
-				s.mandQueue = append(s.mandQueue, st)
-			} else {
-				s.waiting = append(s.waiting, st)
-			}
+	}
+	s.running = kept
+	// Synthesize re-replication work: one Repair job per ~100 degraded
+	// objects, I/O-bound with a tight deadline.
+	repairs := (lost + 99) / 100
+	for k := 0; k < repairs; k++ {
+		dur := 1 + k%2
+		job := workload.Job{
+			ID:       s.nextJobID,
+			Class:    workload.Repair,
+			Submit:   t,
+			Duration: dur,
+			Deadline: t + dur + 8,
+			CPU:      1,
+			RAMGB:    1,
+			IOBound:  true,
 		}
-		s.running = kept
-		// Synthesize re-replication work: one Repair job per ~100 degraded
-		// objects, I/O-bound with a tight deadline.
-		repairs := (lost + 99) / 100
-		for k := 0; k < repairs; k++ {
-			dur := 1 + k%2
-			job := workload.Job{
-				ID:       s.nextJobID,
-				Class:    workload.Repair,
-				Submit:   t,
-				Duration: dur,
-				Deadline: t + dur + 8,
-				CPU:      1,
-				RAMGB:    1,
-				IOBound:  true,
-			}
-			s.nextJobID++
-			s.sla.RepairJobsGenerated++
-			s.admit(job)
-		}
+		s.nextJobID++
+		s.sla.RepairJobsGenerated++
+		s.admit(job)
 	}
 }
 
@@ -374,9 +398,12 @@ func (s *Simulator) step(t int) {
 	h := s.cfg.SlotHours
 	var overhead units.Energy
 
-	// 0. Failure injection: crashes, evictions, repair-job synthesis.
-	if s.failStream != nil {
+	// 0. Fault injection: repairs and crashes (evictions, repair-job
+	// synthesis), then battery capacity fade — before the policy plans, so
+	// its view reflects the faded battery and the surviving fleet.
+	if s.faults != nil {
 		s.stepFailures(t)
+		s.bat.Derate(s.faults.FadeFactor(t))
 	}
 
 	// 1. Promote slack-exhausted deferrable jobs to mandatory.
@@ -481,7 +508,17 @@ func (s *Simulator) step(t int) {
 	s.acct.MigrationOverhead += migE
 
 	load := demandE + overhead + migE
-	greenAvail := s.cfg.Green.Power(t).Over(h)
+	// Supply-side faults withhold production before it reaches the
+	// facility: GreenProduced (and every identity downstream) sees only the
+	// effective supply, so conservation holds through any fault schedule;
+	// the withheld energy is tracked separately for the trace.
+	nominalGreen := s.cfg.Green.Power(t)
+	effectiveGreen := nominalGreen
+	if s.faults != nil {
+		effectiveGreen = s.faults.Supply(t, nominalGreen)
+	}
+	greenAvail := effectiveGreen.Over(h)
+	supplyFault := units.NonNegE(nominalGreen.Over(h) - greenAvail)
 	s.acct.GreenProduced += greenAvail
 
 	greenDirect := units.MinEnergy(load, greenAvail)
@@ -489,7 +526,7 @@ func (s *Simulator) step(t int) {
 
 	deficit := units.NonNegE(load - greenDirect)
 	var batOut units.Energy
-	if deficit > 0 {
+	if deficit > 0 && !(s.faults != nil && s.faults.DischargeBlocked(t)) {
 		batOut = s.bat.Discharge(deficit, h)
 	}
 	s.acct.BatteryOut += batOut
@@ -498,7 +535,7 @@ func (s *Simulator) step(t int) {
 
 	surplus := units.NonNegE(greenAvail - greenDirect)
 	var accepted units.Energy
-	if surplus > 0 {
+	if surplus > 0 && !(s.faults != nil && s.faults.ChargeBlocked(t)) {
 		accepted = s.bat.Charge(surplus, h)
 	}
 	s.acct.GreenLost += surplus - accepted
@@ -531,7 +568,11 @@ func (s *Simulator) step(t int) {
 	}
 	s.running = keptRunning
 
-	// 11. Node/disk-hour integration, series sample and slot reset.
+	// 11. Degradation accounting, node/disk-hour integration, series
+	// sample and slot reset.
+	if s.faults != nil {
+		s.trackDegradation(t)
+	}
 	spun := 0
 	for _, n := range s.cluster.Nodes() {
 		if !n.Powered {
@@ -567,9 +608,69 @@ func (s *Simulator) step(t int) {
 			demand: demandE, overhead: overhead, mig: migE, load: load,
 			greenAvail: greenAvail, greenDirect: greenDirect, batOut: batOut,
 			brown: brown, surplus: surplus, accepted: accepted,
+			supplyFault: supplyFault,
 		}, dec, promoted, started, jobsRunning, spun)
 	}
 	s.cluster.ResetSlot()
+}
+
+// degradedNow reports whether slot t counts as degraded: crashed nodes
+// awaiting repair, or a scheduled fault-event window covering the slot.
+func (s *Simulator) degradedNow(t int) bool {
+	if s.faults == nil {
+		return false
+	}
+	return len(s.repairAt) > 0 || s.faults.EventActive(t)
+}
+
+// coverageNow evaluates the replica-coverage predicate on the current fleet
+// state: every object reachable on a spinning disk of a powered node.
+func (s *Simulator) coverageNow() bool {
+	active := make(map[storage.DiskID]bool)
+	for _, n := range s.cluster.Nodes() {
+		if !n.Powered {
+			continue
+		}
+		for _, d := range n.Disks {
+			if d.SpunUp() {
+				active[d.ID] = true
+			}
+		}
+	}
+	return s.cluster.CoverageOK(active)
+}
+
+// trackDegradation advances the degradation episode state machine at the
+// end of slot t. Only called when fault injection is configured, so runs
+// without faults report an all-zero DegradeAccount by construction.
+func (s *Simulator) trackDegradation(t int) {
+	backlog := len(s.waiting) + len(s.mandQueue)
+	switch {
+	case s.degradedNow(t):
+		s.degrade.DegradedSlots++
+		if !s.inEpisode {
+			s.inEpisode = true
+			s.backlogBaseline = s.prevBacklog
+		}
+		if backlog > s.degrade.BacklogPeak {
+			s.degrade.BacklogPeak = backlog
+		}
+		if !s.coverageNow() {
+			s.degrade.CoverageLossSlots++
+		}
+	case s.inEpisode:
+		// Faults cleared; recovery lasts until the backlog drains back to
+		// its pre-episode level.
+		if backlog <= s.backlogBaseline {
+			s.inEpisode = false
+			break
+		}
+		s.degrade.RecoverySlots++
+		if backlog > s.degrade.BacklogPeak {
+			s.degrade.BacklogPeak = backlog
+		}
+	}
+	s.prevBacklog = backlog
 }
 
 // slotFlows carries one slot's settled energy quantities into emitTrace.
@@ -577,6 +678,7 @@ type slotFlows struct {
 	demand, overhead, mig, load     units.Energy
 	greenAvail, greenDirect, batOut units.Energy
 	brown, surplus, accepted        units.Energy
+	supplyFault                     units.Energy
 }
 
 // emitTrace assembles the slot's audit.SlotTrace — per-slot deltas of the
@@ -656,22 +758,41 @@ func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision
 		CoverageOK:        s.cluster.CoverageOK(active),
 		FailedNodes:       len(s.repairAt),
 	}
+	if s.faults != nil {
+		tr.FaultsActive = s.faults.ActiveKinds(t)
+		tr.SupplyFaultWh = float64(fl.supplyFault)
+		tr.BatteryFadeFactor = s.bat.FadeFactor()
+		tr.DegradedMode = s.degradedNow(t)
+	}
 	s.prevBoots, s.prevShutdowns, s.prevDisk = boots, shutdowns, disk
 	s.obs.ObserveSlot(tr)
 }
 
 // buildView assembles the policy's view of the current slot.
 func (s *Simulator) buildView(t int) sched.View {
+	// The forecaster predicts nominal production — supply faults blindside
+	// the scheduler by design — and forecast-corruption faults then distort
+	// what it gets to see.
+	pred := s.cfg.Forecaster.Predict(s.cfg.Green, t, 24)
+	if s.faults != nil {
+		pred = s.faults.CorruptForecast(t, pred)
+	}
+	// Crashed nodes subtract real capacity: planning against the whole
+	// fleet while part of it is down would over-start into placement
+	// failures the policy cannot see.
+	failed := len(s.repairAt)
 	v := sched.View{
 		Slot:               t,
 		SlotHours:          s.cfg.SlotHours,
-		GreenForecast:      s.cfg.Forecaster.Predict(s.cfg.Green, t, 24),
+		GreenForecast:      pred,
 		EstMandatoryPowerW: s.estMandatoryPower(),
 		PerJobPowerW:       s.cfg.PerJobPowerW,
 		BatterySoC:         s.bat.SoC(),
 		BatteryUsableWh:    s.bat.UsableCapacity(),
 		BatteryEfficiency:  s.bat.Spec().Efficiency,
-		TotalCPUCapacity:   float64(s.cfg.Cluster.Nodes) * s.cfg.Cluster.CPUPerNode * s.cfg.Overcommit,
+		TotalCPUCapacity:   float64(s.cfg.Cluster.Nodes-failed) * s.cfg.Cluster.CPUPerNode * s.cfg.Overcommit,
+		Degraded:           failed > 0,
+		FailedNodes:        failed,
 	}
 	for _, st := range s.running {
 		if st.mandatory {

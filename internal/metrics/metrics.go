@@ -172,6 +172,28 @@ func (s SLAAccount) MissRate() float64 {
 	return float64(s.DeadlineMisses) / float64(s.Submitted)
 }
 
+// DegradeAccount tracks how a run behaved while fault injection impaired
+// it. A degradation episode starts when faults become active (crashed nodes
+// or a scheduled fault-event window) and ends when the backlog has drained
+// back to its pre-episode level.
+type DegradeAccount struct {
+	// DegradedSlots counts slots with faults active: crashed nodes awaiting
+	// repair, or any scheduled fault-event window covering the slot.
+	DegradedSlots int
+	// CoverageLossSlots counts degraded slots that ended with at least one
+	// object having no replica on a spinning disk of a powered node.
+	CoverageLossSlots int
+	// BacklogPeak is the largest waiting-job backlog observed during
+	// degraded or recovering slots (zero when no fault ever fired).
+	BacklogPeak int
+	// RecoverySlots counts post-fault slots until the backlog drained back
+	// to its pre-episode level: the recovery time, summed over episodes.
+	RecoverySlots int
+}
+
+// Degraded reports whether any fault ever impaired the run.
+func (d DegradeAccount) Degraded() bool { return d.DegradedSlots > 0 }
+
 // SlotSample is one row of the per-slot time series.
 type SlotSample struct {
 	Slot        int

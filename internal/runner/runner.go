@@ -14,6 +14,10 @@
 //     while the other 59 points still complete.
 //   - A panicking job is captured (with its stack) and converted into that
 //     job's error instead of killing the process.
+//   - A per-point Timeout and a sweep-wide Context bound runaway grids: a
+//     point that exceeds the timeout records a *TimeoutError in its slot,
+//     cancellation marks every not-yet-started point with the context's
+//     error, and in both cases the other points' results survive.
 //
 // Worker count resolution: Options.Workers > 0 wins; Workers == 1 runs the
 // jobs inline on the calling goroutine (exactly the historical sequential
@@ -22,6 +26,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -29,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // WorkersEnv is the environment variable consulted when Options.Workers is
@@ -71,11 +77,38 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: job %q panicked: %v\n%s", e.Label, e.Value, e.Stack)
 }
 
+// TimeoutError is the error recorded for a job that exceeded the sweep's
+// per-point timeout. The job's goroutine cannot be killed; it is abandoned
+// and its eventual result discarded.
+type TimeoutError struct {
+	// Label is the overrunning job's label.
+	Label string
+	// After is the timeout that elapsed.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("runner: job %q exceeded the %v per-point timeout (abandoned)", e.Label, e.After)
+}
+
 // Options configures a sweep.
 type Options struct {
 	// Workers bounds the pool: N > 0 uses N workers, 1 runs inline
 	// sequentially, 0 resolves GREENMATCH_WORKERS then GOMAXPROCS(0).
 	Workers int
+	// Timeout bounds each job individually; a job still running when it
+	// elapses has its slot filled with a *TimeoutError while the rest of
+	// the sweep proceeds. Zero means unbounded. Go cannot kill the
+	// overrunning goroutine: it is abandoned and its result dropped, which
+	// is safe because sweep jobs are already required to be side-effect
+	// free on shared state.
+	Timeout time.Duration
+	// Context cancels the whole sweep: once it is done, every job not yet
+	// started records the context's error without running and every job in
+	// flight is abandoned mid-run. Nil means context.Background() (never
+	// canceled).
+	Context context.Context
 }
 
 // ResolveWorkers returns the effective worker count for the options (always
@@ -104,20 +137,58 @@ func Sweep(jobs []Job, opts Options) []Outcome {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
-	runOne := func(i int) {
+	// exec runs one job to completion and returns its outcome by value, so
+	// an abandoned (timed-out or canceled) job never races with the slot
+	// the guard has already filled on its behalf.
+	exec := func(i int) (o Outcome) {
 		j := jobs[i]
-		out[i].Label = j.Label
+		o.Label = j.Label
 		defer func() {
 			if r := recover(); r != nil {
-				out[i].Err = &PanicError{Label: j.Label, Value: r, Stack: debug.Stack()}
+				o.Err = &PanicError{Label: j.Label, Value: r, Stack: debug.Stack()}
 			}
 		}()
 		if j.Run == nil {
-			out[i].Err = fmt.Errorf("runner: job %q has nil Run", j.Label)
+			o.Err = fmt.Errorf("runner: job %q has nil Run", j.Label)
 			return
 		}
-		out[i].Value, out[i].Err = j.Run()
+		o.Value, o.Err = j.Run()
+		return
+	}
+
+	runOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i] = Outcome{Label: jobs[i].Label,
+				Err: fmt.Errorf("runner: job %q canceled before start: %w", jobs[i].Label, err)}
+			return
+		}
+		if opts.Timeout <= 0 && ctx.Done() == nil {
+			out[i] = exec(i)
+			return
+		}
+		done := make(chan Outcome, 1) // buffered: an abandoned job parks its result and exits
+		go func() { done <- exec(i) }()
+		var expired <-chan time.Time
+		if opts.Timeout > 0 {
+			timer := time.NewTimer(opts.Timeout)
+			defer timer.Stop()
+			expired = timer.C
+		}
+		select {
+		case o := <-done:
+			out[i] = o
+		case <-expired:
+			out[i] = Outcome{Label: jobs[i].Label,
+				Err: &TimeoutError{Label: jobs[i].Label, After: opts.Timeout}}
+		case <-ctx.Done():
+			out[i] = Outcome{Label: jobs[i].Label,
+				Err: fmt.Errorf("runner: job %q canceled: %w", jobs[i].Label, ctx.Err())}
+		}
 	}
 
 	if workers == 1 {

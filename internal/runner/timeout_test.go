@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// slowJob blocks until release is closed, simulating a grid point whose
+// Run has diverged or hung.
+func slowJob(label string, release <-chan struct{}) Job {
+	return Job{Label: label, Run: func() (any, error) {
+		<-release
+		return label, nil
+	}}
+}
+
+func TestSweepPerPointTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{
+		{Label: "fast", Run: func() (any, error) { return 1, nil }},
+		slowJob("hung", release),
+		{Label: "fast2", Run: func() (any, error) { return 2, nil }},
+	}
+	outs := Sweep(jobs, Options{Workers: 3, Timeout: 20 * time.Millisecond})
+	if outs[0].Err != nil || outs[0].Value != 1 {
+		t.Fatalf("fast point disturbed by sibling timeout: %+v", outs[0])
+	}
+	if outs[2].Err != nil || outs[2].Value != 2 {
+		t.Fatalf("fast2 point disturbed by sibling timeout: %+v", outs[2])
+	}
+	var te *TimeoutError
+	if !errors.As(outs[1].Err, &te) {
+		t.Fatalf("hung point error = %v, want *TimeoutError", outs[1].Err)
+	}
+	if te.Label != "hung" || te.After != 20*time.Millisecond {
+		t.Fatalf("timeout error fields wrong: %+v", te)
+	}
+	if err := Errs(outs); err == nil {
+		t.Fatal("Errs must surface the timeout")
+	}
+}
+
+func TestSweepTimeoutInlineWorker(t *testing.T) {
+	// Workers==1 takes the inline path; the timeout guard must still apply.
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{
+		slowJob("hung", release),
+		{Label: "after", Run: func() (any, error) { return "ok", nil }},
+	}
+	outs := Sweep(jobs, Options{Workers: 1, Timeout: 10 * time.Millisecond})
+	var te *TimeoutError
+	if !errors.As(outs[0].Err, &te) {
+		t.Fatalf("inline hung point error = %v, want *TimeoutError", outs[0].Err)
+	}
+	if outs[1].Err != nil || outs[1].Value != "ok" {
+		t.Fatalf("point after an inline timeout must still run: %+v", outs[1])
+	}
+}
+
+func TestSweepContextCancelsPendingJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release) // un-park the abandoned first job at test end
+	jobs := []Job{
+		{Label: "first", Run: func() (any, error) {
+			close(started)
+			<-release
+			return "done", nil
+		}},
+		{Label: "second", Run: func() (any, error) { return "ran", nil }},
+		{Label: "third", Run: func() (any, error) { return "ran", nil }},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	outs := Sweep(jobs, Options{Workers: 1, Context: ctx})
+	if !errors.Is(outs[0].Err, context.Canceled) {
+		t.Fatalf("in-flight job error = %v, want context.Canceled", outs[0].Err)
+	}
+	for _, o := range outs[1:] {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("pending job %q error = %v, want context.Canceled", o.Label, o.Err)
+		}
+		if o.Value != nil {
+			t.Fatalf("canceled pending job %q ran anyway: %+v", o.Label, o)
+		}
+	}
+}
+
+func TestSweepContextUncanceledIsTransparent(t *testing.T) {
+	jobs := []Job{{Label: "only", Run: func() (any, error) { return 42, nil }}}
+	outs := Sweep(jobs, Options{Workers: 2, Context: context.Background(), Timeout: time.Minute})
+	if outs[0].Err != nil || outs[0].Value != 42 {
+		t.Fatalf("bounded but untriggered sweep changed the outcome: %+v", outs[0])
+	}
+}

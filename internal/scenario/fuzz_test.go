@@ -32,6 +32,10 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte(`{"policy":"defer","fraction":0.5,"battery_kwh":1e308}`))
 	f.Add([]byte(`{"source":"hybrid","turbines":-3,"workload_scale":-1}`))
 	f.Add([]byte(`{"hot_tier_nodes":1,"hot_share":0.99,"nodes":2}`))
+	f.Add([]byte(`{"policy":"baseline","faults":{"crash_mtbf_hours":500,"crash_repair_slots":8,"events":[{"kind":"pv-dropout","at":10,"duration":5}]}}`))
+	f.Add([]byte(`{"faults":{"events":[{"kind":"crash-storm","at":5,"count":99},{"kind":"battery-fade","at":0,"magnitude":2}]}}`))
+	f.Add([]byte(`{"faults":{"events":[{"kind":"node-crash","at":-1,"nodes":[0,7]},{"kind":"forecast-noise","at":3,"duration":2,"magnitude":0.4}]}}`))
+	f.Add([]byte(`{"faults":{"events":[{"kind":"grid-curtailment","at":0,"duration":1000000,"cap_w":-5}]}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Read(bytes.NewReader(data))

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/forecast"
 	"repro/internal/power"
 	"repro/internal/sched"
@@ -78,6 +79,14 @@ type Scenario struct {
 	// FailureMTBFHours and NodeRepairSlots enable failure injection.
 	FailureMTBFHours float64 `json:"failure_mtbf_hours,omitempty"`
 	NodeRepairSlots  int     `json:"node_repair_slots,omitempty"`
+
+	// Faults optionally declares a full fault-injection schedule: the
+	// random crash process plus scheduled supply, battery, crash and
+	// forecast fault windows (see internal/fault). It supersedes
+	// FailureMTBFHours/NodeRepairSlots, which remain as the legacy
+	// spelling of the crash process alone. Event slots are absolute and
+	// are not rescaled by Scaled.
+	Faults *fault.Config `json:"faults,omitempty"`
 
 	// RecordSeries keeps the per-slot time series in the result.
 	RecordSeries bool `json:"record_series,omitempty"`
@@ -174,6 +183,9 @@ func (s Scenario) Compile() (core.Config, error) {
 	cfg.RecordSeries = s.RecordSeries
 	cfg.FailureMTBFHours = s.FailureMTBFHours
 	cfg.NodeRepairSlots = s.NodeRepairSlots
+	if s.Faults != nil {
+		cfg.Faults = *s.Faults
+	}
 
 	// Cluster.
 	cl := storage.DefaultConfig()

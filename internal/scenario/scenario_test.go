@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 func TestDefaultCompilesAndRuns(t *testing.T) {
@@ -135,6 +136,41 @@ func TestFailureFieldsPropagate(t *testing.T) {
 	}
 	if cfg.FailureMTBFHours != 777 || cfg.NodeRepairSlots != 5 {
 		t.Fatalf("failure fields lost: %+v", cfg)
+	}
+	// The legacy fields fold into the fault schedule at compile time.
+	if cfg.Faults.CrashMTBFHours != 777 || cfg.Faults.CrashRepairSlots != 5 {
+		t.Fatalf("legacy failure fields not folded into fault schedule: %+v", cfg.Faults)
+	}
+}
+
+func TestFaultSchedulePropagates(t *testing.T) {
+	s := Default()
+	s.WorkloadScale = 0.05
+	s.Faults = &fault.Config{
+		CrashMTBFHours: 900,
+		Events: []fault.Event{
+			{Kind: fault.KindPVDropout, At: 10, Duration: 3},
+			{Kind: fault.KindForecastBias, At: 20, Duration: 5, Magnitude: 0.2},
+		},
+	}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults.CrashMTBFHours != 900 || len(cfg.Faults.Events) != 2 {
+		t.Fatalf("fault schedule lost in compile: %+v", cfg.Faults)
+	}
+
+	// An invalid schedule must fail compilation, not slip into the run.
+	s.Faults = &fault.Config{Events: []fault.Event{{Kind: fault.KindBatteryFade, At: 0, Magnitude: 2}}}
+	if _, err := s.Compile(); err == nil {
+		t.Fatal("invalid fault schedule compiled without error")
+	}
+
+	// A node-crash target outside the compiled cluster must be rejected.
+	s.Faults = &fault.Config{Events: []fault.Event{{Kind: fault.KindNodeCrash, At: 0, Nodes: []int{10_000}}}}
+	if _, err := s.Compile(); err == nil {
+		t.Fatal("out-of-cluster crash target compiled without error")
 	}
 }
 

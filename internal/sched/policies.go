@@ -78,11 +78,22 @@ func (p DeferFraction) Plan(v View) Decision {
 			budget = sj
 		}
 		d.StartWaiting = p.selectStarts(v, budget)
+		if v.Degraded {
+			d.StartWaiting = enforceBacklogBound(v, d.StartWaiting)
+		}
 		return d
 	}
 	// Deficit: hold participants, and suspend running participants that
 	// still have slack to spare.
 	d.StartWaiting = p.selectStarts(v, 0)
+	if v.Degraded {
+		// Graceful degradation: with crashed nodes, suspending running work
+		// only adds churn to a fleet already short on capacity, and an
+		// unbounded deferred backlog piles up work the survivors cannot
+		// drain; hold what runs and cap the backlog instead.
+		d.StartWaiting = enforceBacklogBound(v, d.StartWaiting)
+		return d
+	}
 	for i, r := range v.RunningDeferrable {
 		if stickyDefer(r.Job.ID, p.Fraction) && r.SlackAt(v.Slot) > p.reserve() {
 			d.SuspendRunning = append(d.SuspendRunning, i)
@@ -310,6 +321,14 @@ func (g GreenMatch) Plan(v View) Decision {
 		}
 	}
 	d.StartWaiting = starts
+	if v.Degraded {
+		// Graceful degradation mirrors DeferFraction: never suspend while
+		// capacity is impaired, and bound the deferred backlog to what the
+		// surviving nodes can drain (overflow starts now, most urgent
+		// first, so shedding shows up as explicit deadline accounting).
+		d.StartWaiting = enforceBacklogBound(v, d.StartWaiting)
+		return d
+	}
 
 	// Suspend running participants when the current slot has no green
 	// headroom for them and they can afford to wait. The battery-aware

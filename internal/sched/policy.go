@@ -76,6 +76,13 @@ type View struct {
 	// BatteryEfficiency is the ESD charging efficiency sigma (0 when
 	// absent); battery-aware planners use it to price the round trip.
 	BatteryEfficiency float64
+	// Degraded reports impaired compute capacity: nodes have crashed and
+	// await repair (TotalCPUCapacity already excludes them). Policies must
+	// degrade gracefully — avoid suspension churn and bound the deferred
+	// backlog — rather than plan as if the fleet were whole.
+	Degraded bool
+	// FailedNodes is the crashed-node count behind Degraded.
+	FailedNodes int
 }
 
 // Decision is a policy's plan for the current slot.
@@ -128,6 +135,17 @@ func (v View) spaceJobs() int {
 	if v.TotalCPUCapacity <= 0 {
 		return 1 << 30 // capacity unknown: unbounded
 	}
+	free := v.TotalCPUCapacity - v.EstMandatoryCPU - v.RunningDeferrableCPU
+	if free <= 0 {
+		return 0
+	}
+	return int(free / v.avgWaitingCPU())
+}
+
+// avgWaitingCPU returns the mean CPU demand of the waiting jobs (1.25 cores
+// when there is nothing to average), the planning constant spaceJobs and
+// backlogBound share.
+func (v View) avgWaitingCPU() float64 {
 	avg := 1.25
 	if len(v.Waiting) > 0 {
 		sum := 0.0
@@ -139,11 +157,57 @@ func (v View) spaceJobs() int {
 	if avg <= 0 {
 		avg = 1.25
 	}
-	free := v.TotalCPUCapacity - v.EstMandatoryCPU - v.RunningDeferrableCPU
-	if free <= 0 {
-		return 0
+	return avg
+}
+
+// backlogBound is the degraded-mode ceiling on the deferred backlog: one
+// full cluster's worth of concurrent jobs at the surviving capacity.
+// Deferring more than that under impaired capacity just piles up work the
+// cluster cannot drain before deadlines; policies start the overflow
+// instead (most urgent first), making the shed explicit in deadline-miss
+// accounting rather than silent. Unbounded when the view carries no
+// capacity information.
+func (v View) backlogBound() int {
+	if v.TotalCPUCapacity <= 0 {
+		return 1 << 30
 	}
-	return int(free / avg)
+	return int(v.TotalCPUCapacity / v.avgWaitingCPU())
+}
+
+// enforceBacklogBound applies the degraded-mode backlog cap to a start
+// list: when more jobs would stay deferred than backlogBound allows, the
+// most urgent of them (smallest slack, index tiebreak) are started too.
+// Returns the augmented start list.
+func enforceBacklogBound(v View, starts []int) []int {
+	bound := v.backlogBound()
+	deferred := len(v.Waiting) - len(starts)
+	if deferred <= bound {
+		return starts
+	}
+	started := make(map[int]bool, len(starts))
+	for _, i := range starts {
+		started[i] = true
+	}
+	type cand struct{ idx, slack int }
+	var held []cand
+	for i, r := range v.Waiting {
+		if !started[i] {
+			held = append(held, cand{idx: i, slack: r.SlackAt(v.Slot)})
+		}
+	}
+	need := deferred - bound
+	for n := 0; n < need && len(held) > 0; n++ {
+		best := 0
+		for k := 1; k < len(held); k++ {
+			if held[k].slack < held[best].slack ||
+				(held[k].slack == held[best].slack && held[k].idx < held[best].idx) {
+				best = k
+			}
+		}
+		starts = append(starts, held[best].idx)
+		held = append(held[:best], held[best+1:]...)
+	}
+	return starts
 }
 
 // stickyDefer deterministically selects whether a job participates in

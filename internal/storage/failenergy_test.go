@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func closeE(a, b units.Energy) bool { return math.Abs(float64(a-b)) < 1e-9 }
+
+// TestCrashRepairRebootEnergyAccounting pins the energy bookkeeping of the
+// full crash -> repair -> re-boot cycle: a crash charges nothing (the
+// server just died, no orderly transients), while the post-repair boot
+// charges exactly the server's boot energy plus one spin-up transient per
+// disk — the same bill as any cold boot — and books the spin-ups to the
+// disk transition stats.
+func TestCrashRepairRebootEnergyAccounting(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	n := c.Node(3)
+
+	before := c.DiskStatsTotal()
+	c.FailNode(3)
+	after := c.DiskStatsTotal()
+	if after.TransitionEnergy != before.TransitionEnergy {
+		t.Fatalf("crash charged transition energy: %v -> %v",
+			before.TransitionEnergy, after.TransitionEnergy)
+	}
+	if after.SpinUps != before.SpinUps || after.SpinDowns != before.SpinDowns {
+		t.Fatalf("crash counted managed spin transitions: %+v -> %+v", before, after)
+	}
+
+	c.RepairNode(3)
+	if n.Powered {
+		t.Fatal("repair must return the node powered off, not booted")
+	}
+
+	// The re-boot bill: server boot energy + one spin-up per disk.
+	want := n.Server.BootEnergyWh
+	for _, d := range n.Disks {
+		if d.SpunUp() {
+			t.Fatal("disks must be parked on a repaired node")
+		}
+		want += d.Profile.SpinUpEnergy()
+	}
+	got := c.PowerOnNode(3)
+	if !closeE(got, want) {
+		t.Fatalf("re-boot charged %v, want boot+spin-ups = %v", got, want)
+	}
+	if got <= n.Server.BootEnergyWh {
+		t.Fatal("re-boot bill should exceed the bare server boot energy")
+	}
+
+	// The spin-ups landed in the disk stats; the server share did not.
+	rebooted := c.DiskStatsTotal()
+	diskShare := rebooted.TransitionEnergy - after.TransitionEnergy
+	if !closeE(diskShare, want-n.Server.BootEnergyWh) {
+		t.Fatalf("disk stats booked %v of transition energy, want %v",
+			diskShare, want-n.Server.BootEnergyWh)
+	}
+	if rebooted.SpinUps != after.SpinUps+len(n.Disks) {
+		t.Fatalf("spin-up count %d, want %d", rebooted.SpinUps, after.SpinUps+len(n.Disks))
+	}
+	if n.Boots != 1 {
+		t.Fatalf("boot counter %d, want 1", n.Boots)
+	}
+
+	// A second crash/repair cycle bills identically: no hidden state.
+	c.FailNode(3)
+	c.RepairNode(3)
+	if again := c.PowerOnNode(3); !closeE(again, got) {
+		t.Fatalf("second re-boot charged %v, first charged %v", again, got)
+	}
+	if n.Failures != 2 || n.Boots != 2 {
+		t.Fatalf("cycle counters wrong: failures %d boots %d", n.Failures, n.Boots)
+	}
+	var zero units.Energy
+	if got == zero {
+		t.Fatal("boot energy unexpectedly zero")
+	}
+}
