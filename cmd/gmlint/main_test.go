@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// chdir moves into dir for one test, restoring the working directory on
+// cleanup (run() lints the module containing ".").
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// TestSmokeTinyModule runs the multichecker end to end over the
+// self-contained module in testdata: findings gate the exit code, -only
+// narrows the suite, and package arguments select paths.
+func TestSmokeTinyModule(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "tinymod"))
+
+	if got := run([]string{"./..."}); got != 1 {
+		t.Errorf("run(./...) = %d, want 1 (the module has seeded findings)", got)
+	}
+	if got := run([]string{"./clean"}); got != 0 {
+		t.Errorf("run(./clean) = %d, want 0", got)
+	}
+	if got := run([]string{"-only", "unitsafety", "./..."}); got != 0 {
+		t.Errorf("run(-only unitsafety ./...) = %d, want 0 (seeded findings are determinism/floateq)", got)
+	}
+	if got := run([]string{"-only", "determinism,floateq", "./core"}); got != 1 {
+		t.Errorf("run(-only determinism,floateq ./core) = %d, want 1", got)
+	}
+}
+
+func TestListAndUsage(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+	if got := run([]string{"-only", "nonexistent", "./..."}); got != 2 {
+		t.Errorf("run(-only nonexistent) = %d, want usage exit 2", got)
+	}
+	if got := run([]string{"-bogusflag"}); got != 2 {
+		t.Errorf("run(-bogusflag) = %d, want usage exit 2", got)
+	}
+}
+
+func TestLoadErrorExit(t *testing.T) {
+	chdir(t, t.TempDir())
+	if got := run([]string{"./..."}); got != 2 {
+		t.Errorf("run outside any module = %d, want load-error exit 2", got)
+	}
+}

@@ -1,0 +1,11 @@
+// Package core trips the determinism analyzer (the package base name
+// classifies it as simulator-core) and the floateq analyzer.
+package core
+
+import "time"
+
+// Stamp reads the wall clock: one determinism finding.
+func Stamp() time.Time { return time.Now() }
+
+// Same compares floats raw: one floateq finding.
+func Same(a, b float64) bool { return a == b }

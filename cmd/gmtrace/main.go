@@ -204,7 +204,7 @@ func runScenario(w io.Writer, scenFile string, scale float64, format string, doA
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "gmtrace: run %q (%s): %d slots, brown %.2f kWh, green utilization %.1f%%\n",
-		sc.Name, res.Policy, res.Slots, float64(res.Energy.Brown)/1000, 100*res.Energy.GreenUtilization())
+		sc.Name, res.Policy, res.Slots, res.Energy.Brown.KWh(), 100*res.Energy.GreenUtilization())
 	if auditor != nil {
 		fmt.Fprintf(os.Stderr, "gmtrace: audit: %d slots checked, 0 violations\n", res.Slots)
 	}

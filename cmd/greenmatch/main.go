@@ -179,7 +179,7 @@ func buildConfig(policyName string, fraction float64, solver string, scale float
 		}
 		// Match the solar trace's total energy so sources are comparable.
 		if tot := w.TotalEnergy(1); tot > 0 {
-			w = w.Scale(float64(sol.TotalEnergy(1)) / float64(tot))
+			w = w.Scale(sol.TotalEnergy(1).Wh() / tot.Wh())
 		}
 		if source == "wind" {
 			cfg.Green = w

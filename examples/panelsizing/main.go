@@ -46,7 +46,7 @@ func main() {
 				steady += s.BrownW / 1000
 			}
 		}
-		ratio := float64(res.Energy.GreenProduced) / float64(res.Energy.TotalLoad())
+		ratio := res.Energy.GreenProduced.Wh() / res.Energy.TotalLoad().Wh()
 		table.AddRow(area, res.Energy.GreenProduced.KWh(), ratio, steady)
 		if breakEven < 0 && steady < 1 {
 			breakEven = area

@@ -37,7 +37,7 @@ func run(w io.Writer) error {
 	}
 	// Scale the wind trace to the solar trace's total energy so the two
 	// sources are compared fairly.
-	wind := windRaw.Scale(float64(solar.TotalEnergy(1)) / float64(windRaw.TotalEnergy(1)))
+	wind := windRaw.Scale(solar.TotalEnergy(1).Wh() / windRaw.TotalEnergy(1).Wh())
 	hybrid := make(greenmatch.SolarSeries, slots)
 	for i := range hybrid {
 		hybrid[i] = (solar.Power(i) + wind.Power(i)) / 2

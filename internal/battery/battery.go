@@ -163,7 +163,7 @@ func (s Spec) VolumeLiters(capacity units.Energy) float64 {
 	if s.WhPerLiter <= 0 {
 		return 0
 	}
-	return float64(capacity) / s.WhPerLiter
+	return capacity.Wh() / s.WhPerLiter
 }
 
 // PriceDollars returns the capital cost of a battery of the given nominal
@@ -263,10 +263,10 @@ func (b *Battery) Stored() units.Energy { return b.stored }
 // the usable ceiling derive from; equal to Capacity while the battery is
 // healthy.
 func (b *Battery) EffectiveCapacity() units.Energy {
-	if math.IsInf(float64(b.capacity), 1) {
+	if math.IsInf(b.capacity.Wh(), 1) {
 		return b.capacity
 	}
-	return units.Energy(float64(b.capacity) * b.fadeFactor())
+	return b.capacity.Scale(b.fadeFactor())
 }
 
 // FadeFactor returns the capacity fade factor in effect, 1 when healthy.
@@ -291,7 +291,7 @@ func (b *Battery) fadeFactor() float64 {
 // absolute, not incremental: call with the current cumulative factor. A
 // no-op for the infinite battery.
 func (b *Battery) Derate(factor float64) units.Energy {
-	if math.IsInf(float64(b.capacity), 1) {
+	if math.IsInf(b.capacity.Wh(), 1) {
 		return 0
 	}
 	if factor < 0 {
@@ -312,20 +312,20 @@ func (b *Battery) Derate(factor float64) units.Energy {
 
 // UsableCapacity returns DoD*fade*C, the ceiling on Stored.
 func (b *Battery) UsableCapacity() units.Energy {
-	if math.IsInf(float64(b.capacity), 1) {
+	if math.IsInf(b.capacity.Wh(), 1) {
 		return b.capacity
 	}
-	return units.Energy(float64(b.EffectiveCapacity()) * b.spec.DoD)
+	return b.EffectiveCapacity().Scale(b.spec.DoD)
 }
 
 // SoC returns the state of charge as stored / usable capacity, in [0,1].
 // An infinite battery always reports 0 (it can never fill).
 func (b *Battery) SoC() float64 {
 	u := b.UsableCapacity()
-	if u == 0 || math.IsInf(float64(u), 1) {
+	if u == 0 || math.IsInf(u.Wh(), 1) {
 		return 0
 	}
-	return float64(b.stored) / float64(u)
+	return b.stored.Wh() / u.Wh()
 }
 
 // Account returns the cumulative flow accounting.
@@ -338,16 +338,16 @@ func (b *Battery) maxChargeEnergy(dtHours float64) units.Energy {
 	if b.capacity == 0 {
 		return 0
 	}
-	if math.IsInf(float64(b.capacity), 1) {
+	if math.IsInf(b.capacity.Wh(), 1) {
 		return units.Energy(math.Inf(1))
 	}
-	rateCap := units.Energy(float64(b.EffectiveCapacity()) * b.spec.ChargeRatePerHour * dtHours)
+	rateCap := units.Energy(b.EffectiveCapacity().Wh() * b.spec.ChargeRatePerHour * dtHours)
 	free := b.UsableCapacity() - b.stored
 	if free < 0 {
 		free = 0
 	}
 	// Input that would exactly fill the free space.
-	fillInput := units.Energy(float64(free) / b.spec.Efficiency)
+	fillInput := units.Energy(free.Wh() / b.spec.Efficiency)
 	return units.MinEnergy(rateCap, fillInput)
 }
 
@@ -357,10 +357,10 @@ func (b *Battery) maxDischargeEnergy(dtHours float64) units.Energy {
 	if b.capacity == 0 {
 		return 0
 	}
-	if math.IsInf(float64(b.capacity), 1) {
+	if math.IsInf(b.capacity.Wh(), 1) {
 		return b.stored
 	}
-	rateCap := units.Energy(float64(b.EffectiveCapacity()) * b.spec.ChargeRatePerHour * b.spec.DischargeChargeRatio * dtHours)
+	rateCap := units.Energy(b.EffectiveCapacity().Wh() * b.spec.ChargeRatePerHour * b.spec.DischargeChargeRatio * dtHours)
 	return units.MinEnergy(rateCap, b.stored)
 }
 
@@ -378,7 +378,7 @@ func (b *Battery) Charge(offered units.Energy, dtHours float64) (accepted units.
 	}
 	b.acct.InOffered += offered
 	accepted = units.MinEnergy(offered, b.maxChargeEnergy(dtHours))
-	storedDelta := units.Energy(float64(accepted) * b.spec.Efficiency)
+	storedDelta := accepted.Scale(b.spec.Efficiency)
 	b.stored += storedDelta
 	// Clamp FP residue.
 	if u := b.UsableCapacity(); b.stored > u {
@@ -416,10 +416,10 @@ func (b *Battery) TickSelfDischarge(dtHours float64) units.Energy {
 	if dtHours <= 0 {
 		panic(fmt.Sprintf("battery: non-positive self-discharge window %v", dtHours))
 	}
-	if b.stored == 0 || math.IsInf(float64(b.stored), 1) {
+	if b.stored == 0 || math.IsInf(b.stored.Wh(), 1) {
 		return 0
 	}
-	loss := units.Energy(float64(b.stored) * b.spec.SelfDischargePerDay * dtHours / 24)
+	loss := units.Energy(b.stored.Wh() * b.spec.SelfDischargePerDay * dtHours / 24)
 	if loss > b.stored {
 		loss = b.stored
 	}
@@ -434,10 +434,10 @@ func (b *Battery) TickSelfDischarge(dtHours float64) units.Energy {
 // zero-capacity and infinite batteries.
 func (b *Battery) EquivalentFullCycles() float64 {
 	u := b.UsableCapacity()
-	if u == 0 || math.IsInf(float64(u), 1) {
+	if u == 0 || math.IsInf(u.Wh(), 1) {
 		return 0
 	}
-	return float64(b.acct.Out) / float64(u)
+	return b.acct.Out.Wh() / u.Wh()
 }
 
 // WearFraction returns the fraction of rated cycle life consumed so far
@@ -457,14 +457,14 @@ func (b *Battery) WearFraction() float64 {
 // It should be within floating-point noise of zero at all times and is
 // asserted by the simulator's integration tests.
 func (b *Battery) ConservationError() float64 {
-	if math.IsInf(float64(b.capacity), 1) {
+	if math.IsInf(b.capacity.Wh(), 1) {
 		// The identity holds for the infinite battery too, unless nothing
 		// flowed yet.
 		if b.acct.InAccepted == 0 && b.acct.Out == 0 {
 			return 0
 		}
 	}
-	in := float64(b.acct.InAccepted) * b.spec.Efficiency
-	out := float64(b.stored) + float64(b.acct.Out) + float64(b.acct.SelfDischargeLoss)
+	in := b.acct.InAccepted.Wh() * b.spec.Efficiency
+	out := b.stored.Wh() + b.acct.Out.Wh() + b.acct.SelfDischargeLoss.Wh()
 	return math.Abs(in - out)
 }

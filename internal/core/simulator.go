@@ -251,17 +251,17 @@ func (s *Simulator) Run() (*Result, error) {
 		tot := audit.RunTotals{
 			Policy:            res.Policy,
 			Slots:             res.Slots,
-			DemandWh:          float64(s.acct.Demand),
-			MigrationWh:       float64(s.acct.MigrationOverhead),
-			TransitionWh:      float64(s.acct.TransitionOverhead),
-			GreenProducedWh:   float64(s.acct.GreenProduced),
-			GreenDirectWh:     float64(s.acct.GreenDirect),
-			BatteryOutWh:      float64(s.acct.BatteryOut),
-			BrownWh:           float64(s.acct.Brown),
-			BatteryInWh:       float64(s.acct.BatteryInAccepted),
-			GreenLostWh:       float64(s.acct.GreenLost),
-			BatteryEffLossWh:  float64(s.acct.BatteryEffLoss),
-			BatterySelfLossWh: float64(s.acct.BatterySelfLoss),
+			DemandWh:          s.acct.Demand.Wh(),
+			MigrationWh:       s.acct.MigrationOverhead.Wh(),
+			TransitionWh:      s.acct.TransitionOverhead.Wh(),
+			GreenProducedWh:   s.acct.GreenProduced.Wh(),
+			GreenDirectWh:     s.acct.GreenDirect.Wh(),
+			BatteryOutWh:      s.acct.BatteryOut.Wh(),
+			BrownWh:           s.acct.Brown.Wh(),
+			BatteryInWh:       s.acct.BatteryInAccepted.Wh(),
+			GreenLostWh:       s.acct.GreenLost.Wh(),
+			BatteryEffLossWh:  s.acct.BatteryEffLoss.Wh(),
+			BatterySelfLossWh: s.acct.BatterySelfLoss.Wh(),
 			Submitted:         s.sla.Submitted,
 			Completed:         s.sla.Completed,
 			DeadlineMisses:    s.sla.DeadlineMisses,
@@ -394,6 +394,11 @@ func (s *Simulator) failedNodes() map[int]bool {
 }
 
 // step executes one slot.
+//
+// step is the per-slot hot path (//gm:hotpath): trace assembly and any
+// other observer work must sit behind the single `s.obs != nil` check so
+// that a run without an observer pays nothing but that comparison.
+// gmlint's observerhot analyzer enforces this.
 func (s *Simulator) step(t int) {
 	h := s.cfg.SlotHours
 	var overhead units.Energy
@@ -589,13 +594,13 @@ func (s *Simulator) step(t int) {
 	if s.series != nil {
 		s.series.Add(metrics.SlotSample{
 			Slot:        t,
-			DemandW:     float64(load.Rate(h)),
-			GreenW:      float64(greenAvail.Rate(h)),
-			GreenUsedW:  float64(greenDirect.Rate(h)),
-			BatteryOutW: float64(batOut.Rate(h)),
-			BatteryInW:  float64(accepted.Rate(h)),
-			BrownW:      float64(brown.Rate(h)),
-			GreenLostW:  float64((surplus - accepted).Rate(h)),
+			DemandW:     load.Rate(h).Watts(),
+			GreenW:      greenAvail.Rate(h).Watts(),
+			GreenUsedW:  greenDirect.Rate(h).Watts(),
+			BatteryOutW: batOut.Rate(h).Watts(),
+			BatteryInW:  accepted.Rate(h).Watts(),
+			BrownW:      brown.Rate(h).Watts(),
+			GreenLostW:  (surplus - accepted).Rate(h).Watts(),
 			BatterySoC:  s.bat.SoC(),
 			NodesOn:     len(s.cluster.PoweredNodes()),
 			DisksSpun:   spun,
@@ -684,8 +689,9 @@ type slotFlows struct {
 // emitTrace assembles the slot's audit.SlotTrace — per-slot deltas of the
 // cumulative accounts, end-of-slot battery and fleet state, and the replica
 // coverage predicate — and hands it to the configured observer. Only called
-// when an observer is configured; the prev* snapshots it maintains exist
-// for no other purpose.
+// when an observer is configured (//gm:observed — gmlint flags any call
+// site not guarded by a nil-observer check); the prev* snapshots it
+// maintains exist for no other purpose.
 func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision, promoted, started, jobsRunning, spun int) {
 	batAcct := s.bat.Account()
 	batDelta := batAcct.Sub(s.prevBat)
@@ -709,8 +715,8 @@ func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision
 	}
 	disk := s.cluster.DiskStatsTotal()
 
-	unbounded := math.IsInf(float64(s.bat.Capacity()), 1)
-	usable := float64(s.bat.UsableCapacity())
+	unbounded := math.IsInf(s.bat.Capacity().Wh(), 1)
+	usable := s.bat.UsableCapacity().Wh()
 	if unbounded {
 		usable = 0
 	}
@@ -718,19 +724,19 @@ func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision
 		Slot:              t,
 		Policy:            s.cfg.Policy.Name(),
 		SlotHours:         h,
-		DemandWh:          float64(fl.demand),
-		MigrationWh:       float64(fl.mig),
-		TransitionWh:      float64(fl.overhead),
-		LoadWh:            float64(fl.load),
-		GreenAvailWh:      float64(fl.greenAvail),
-		GreenDirectWh:     float64(fl.greenDirect),
-		BatteryOutWh:      float64(fl.batOut),
-		BrownWh:           float64(fl.brown),
-		BatteryInWh:       float64(fl.accepted),
-		GreenLostWh:       float64(fl.surplus - fl.accepted),
-		BatteryEffLossWh:  float64(batDelta.EfficiencyLoss),
-		BatterySelfLossWh: float64(batDelta.SelfDischargeLoss),
-		BatteryStoredWh:   float64(s.bat.Stored()),
+		DemandWh:          fl.demand.Wh(),
+		MigrationWh:       fl.mig.Wh(),
+		TransitionWh:      fl.overhead.Wh(),
+		LoadWh:            fl.load.Wh(),
+		GreenAvailWh:      fl.greenAvail.Wh(),
+		GreenDirectWh:     fl.greenDirect.Wh(),
+		BatteryOutWh:      fl.batOut.Wh(),
+		BrownWh:           fl.brown.Wh(),
+		BatteryInWh:       fl.accepted.Wh(),
+		GreenLostWh:       (fl.surplus - fl.accepted).Wh(),
+		BatteryEffLossWh:  batDelta.EfficiencyLoss.Wh(),
+		BatterySelfLossWh: batDelta.SelfDischargeLoss.Wh(),
+		BatteryStoredWh:   s.bat.Stored().Wh(),
 		BatteryUsableWh:   usable,
 		BatterySoC:        s.bat.SoC(),
 		BatteryUnbounded:  unbounded,
@@ -760,7 +766,7 @@ func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision
 	}
 	if s.faults != nil {
 		tr.FaultsActive = s.faults.ActiveKinds(t)
-		tr.SupplyFaultWh = float64(fl.supplyFault)
+		tr.SupplyFaultWh = fl.supplyFault.Wh()
 		tr.BatteryFadeFactor = s.bat.FadeFactor()
 		tr.DegradedMode = s.degradedNow(t)
 	}
@@ -804,7 +810,7 @@ func (s *Simulator) buildView(t int) sched.View {
 	for _, st := range s.mandQueue {
 		v.EstMandatoryCPU += st.job.CPU
 	}
-	if math.IsInf(float64(v.BatteryUsableWh), 1) {
+	if math.IsInf(v.BatteryUsableWh.Wh(), 1) {
 		v.BatteryUsableWh = units.Energy(math.MaxFloat64)
 	}
 	for _, st := range s.waiting {
@@ -830,9 +836,9 @@ func (s *Simulator) buildView(t int) sched.View {
 // falls back to the analytic estimate.
 func (s *Simulator) estMandatoryPower() units.Power {
 	np := s.cfg.Cluster.NodeProfile
-	floor := units.Power(float64(len(s.fullCoverNodes)) * float64(np.MinOnNodePower()))
+	floor := np.MinOnNodePower().Scale(float64(len(s.fullCoverNodes)))
 	if s.lastDrawW > 0 {
-		est := s.lastDrawW - units.Power(float64(s.cfg.PerJobPowerW)*float64(s.lastRunDeferrable))
+		est := s.lastDrawW - s.cfg.PerJobPowerW.Scale(float64(s.lastRunDeferrable))
 		return units.MaxPower(est, floor)
 	}
 	cpu := 0.0
@@ -848,9 +854,9 @@ func (s *Simulator) estMandatoryPower() units.Power {
 	if nodesNeeded < len(s.fullCoverNodes) {
 		nodesNeeded = len(s.fullCoverNodes)
 	}
-	base := float64(np.Server.IdleW) + float64(np.Disk.IdleW)*float64(np.DisksPerNode)
-	dynamic := cpu / s.cfg.Cluster.CPUPerNode * float64(np.Server.PeakW-np.Server.IdleW)
-	return units.MaxPower(units.Power(float64(nodesNeeded)*base+dynamic), floor)
+	base := np.Server.IdleW + np.Disk.IdleW.Scale(float64(np.DisksPerNode))
+	dynamic := (np.Server.PeakW - np.Server.IdleW).Scale(cpu / s.cfg.Cluster.CPUPerNode)
+	return units.MaxPower(base.Scale(float64(nodesNeeded))+dynamic, floor)
 }
 
 // place seats running plus starting jobs on nodes. With consolidate it
@@ -1133,8 +1139,11 @@ func (s *Simulator) resolveOverloads(t int) units.Energy {
 		sort.Slice(jobs, func(a, b int) bool {
 			da := jobs[a].job.CPU * jobs[a].job.UtilAt(t)
 			db := jobs[b].job.CPU * jobs[b].job.UtilAt(t)
-			if da != db {
-				return da > db
+			if da > db {
+				return true
+			}
+			if da < db {
+				return false
 			}
 			return jobs[a].job.ID < jobs[b].job.ID
 		})
@@ -1198,7 +1207,7 @@ func (s *Simulator) cpuUtilByNode() map[int]float64 {
 // checkConservation asserts the energy-flow identities; a violation is a
 // simulator bug and fails the run loudly.
 func (s *Simulator) checkConservation(res *Result) error {
-	tol := 1e-6 * (1 + float64(res.Energy.TotalLoad()))
+	tol := 1e-6 * (1 + res.Energy.TotalLoad().Wh())
 	if err := res.Energy.ConservationError(); err > tol {
 		return fmt.Errorf("core: energy conservation violated by %.6f Wh (policy %s)", err, res.Policy)
 	}

@@ -113,7 +113,7 @@ func runE2(p Params) ([]*metrics.Table, error) {
 		for pi, pol := range pols {
 			res := results[ai*len(pols)+pi]
 			if pol.Name() == "baseline" && res.Energy.TotalLoad() > 0 {
-				cells = append(cells, float64(res.Energy.GreenProduced)/float64(res.Energy.TotalLoad()))
+				cells = append(cells, res.Energy.GreenProduced.Wh()/res.Energy.TotalLoad().Wh())
 			}
 			sb := steadyBrown(res)
 			cells = append(cells, sb.KWh())

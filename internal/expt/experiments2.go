@@ -349,7 +349,7 @@ func runE12(p Params) ([]*metrics.Table, error) {
 	rawTotal := raw.TotalEnergy(1)
 	windSeries := raw
 	if rawTotal > 0 {
-		windSeries = raw.Scale(float64(target) / float64(rawTotal))
+		windSeries = raw.Scale(target.Wh() / rawTotal.Wh())
 	}
 	hybrid := wind.Hybrid(solarSeries.Scale(0.5), windSeries.Scale(0.5))
 

@@ -90,7 +90,7 @@ func runE13(p Params) ([]*metrics.Table, error) {
 			if f == 0 {
 				baselineBrown[capWh] = res.Energy.Brown
 			} else if base, ok := baselineBrown[capWh]; ok && base > 0 {
-				saving := 1 - float64(res.Energy.Brown)/float64(base)
+				saving := 1 - res.Energy.Brown.Wh()/base.Wh()
 				if saving > bestSaving {
 					bestSaving = saving
 					bestSavingAt = pt

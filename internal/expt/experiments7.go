@@ -66,7 +66,7 @@ func runE17(p Params) ([]*metrics.Table, error) {
 			if pol.Name() == "baseline" {
 				baselineBrown = res.Energy.Brown
 			} else if baselineBrown > 0 {
-				saving = 100 * (1 - float64(res.Energy.Brown)/float64(baselineBrown))
+				saving = 100 * (1 - res.Energy.Brown.Wh()/baselineBrown.Wh())
 			}
 			t.AddRow(alpha, pol.Name(), res.Energy.Demand.KWh(), res.Energy.Brown.KWh(), saving)
 		}
@@ -136,7 +136,7 @@ func runE18(p Params) ([]*metrics.Table, error) {
 		gm := results[si*len(pols)+1].Energy.Brown
 		saving := 0.0
 		if base > 0 {
-			saving = 100 * (1 - float64(gm)/float64(base))
+			saving = 100 * (1 - gm.Wh()/base.Wh())
 		}
 		t.AddRow(season.name, greens[si].TotalEnergy(1).KWh(), base.KWh(), gm.KWh(), saving)
 	}

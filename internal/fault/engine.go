@@ -127,7 +127,7 @@ func (e *Engine) Supply(t int, nominal units.Power) units.Power {
 		}
 		switch ev.Kind {
 		case KindPVDerate:
-			p = units.Power(float64(p) * (1 - ev.Magnitude))
+			p = p.Scale(1 - ev.Magnitude)
 		case KindPVDropout:
 			p = 0
 		case KindGridCurtailment:
@@ -213,7 +213,7 @@ func (e *Engine) CorruptForecast(t int, pred []units.Power) []units.Power {
 			u := hashUnit(e.seed, t+k)
 			f *= 1 + noise*(2*u-1)
 		}
-		out[k] = units.NonNegP(units.Power(float64(p) * f))
+		out[k] = units.NonNegP(p.Scale(f))
 	}
 	return out
 }

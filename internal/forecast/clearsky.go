@@ -43,17 +43,17 @@ func (c ClearSky) Predict(actual solar.Provider, now, horizon int) []units.Power
 	}
 	// Estimate attenuation from observed daylight slots.
 	peak := c.Farm.Panel.PeakPower()
-	threshold := float64(peak) * 0.1
+	threshold := peak.Watts() * 0.1
 	sumRatio, n := 0.0, 0
 	for s := now - window; s < now; s++ {
 		if s < 0 {
 			continue
 		}
-		cs := float64(c.clearSkyPower(s))
+		cs := c.clearSkyPower(s).Watts()
 		if cs < threshold {
 			continue
 		}
-		sumRatio += float64(actual.Power(s)) / cs
+		sumRatio += actual.Power(s).Watts() / cs
 		n++
 	}
 	att := 1.0 // optimistic before any daylight history
@@ -68,7 +68,7 @@ func (c ClearSky) Predict(actual solar.Provider, now, horizon int) []units.Power
 	}
 	out := make([]units.Power, horizon)
 	for k := 0; k < horizon; k++ {
-		out[k] = units.Power(float64(c.clearSkyPower(now+k)) * att)
+		out[k] = c.clearSkyPower(now + k).Scale(att)
 	}
 	return out
 }

@@ -110,7 +110,7 @@ func (m MovingAverage) Predict(actual solar.Provider, now, horizon int) []units.
 			}
 		}
 		if n > 0 {
-			out[k] = units.Power(float64(sum) / float64(n))
+			out[k] = units.Power(sum.Watts() / float64(n))
 		}
 	}
 	return out
@@ -153,7 +153,7 @@ func (e EWMA) Predict(actual solar.Provider, now, horizon int) []units.Power {
 				est = actual.Power(s)
 				seen = true
 			} else {
-				est = units.Power((1-alpha)*float64(est) + alpha*float64(actual.Power(s)))
+				est = units.Power((1-alpha)*est.Watts() + alpha*actual.Power(s).Watts())
 			}
 		}
 		if seen {
@@ -182,7 +182,7 @@ func Evaluate(f Forecaster, actual solar.Provider, warmup int) Errors {
 	count := 0
 	for s := warmup; s < n; s++ {
 		pred := f.Predict(actual, s, 1)[0]
-		err := float64(pred - actual.Power(s))
+		err := (pred - actual.Power(s)).Watts()
 		sumAbs += math.Abs(err)
 		sumSq += err * err
 		sumSigned += err

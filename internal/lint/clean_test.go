@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestModuleIsClean runs the full analyzer suite over the whole module —
+// the same invocation as the CI `gmlint ./...` gate — and requires zero
+// findings and zero type errors. A red run here means a violation crept
+// in; fix it (or, for a justified escape, add a `//lint:allow <analyzer>
+// <reason>` with the reasoning) rather than loosening the analyzer.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	diags, soft, err := LintModule(".", []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range soft {
+		t.Errorf("type error: %v", e)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// corePkgs are the simulator-core package base names covered by the
+// determinism analyzer: everything that executes between Config and
+// Result, where any run-to-run variation breaks the chaos harness's
+// run-twice byte-determinism gate.
+var corePkgs = map[string]bool{
+	"core":     true,
+	"sched":    true,
+	"match":    true,
+	"fault":    true,
+	"solar":    true,
+	"wind":     true,
+	"workload": true,
+	"battery":  true,
+	"storage":  true,
+	"forecast": true,
+}
+
+// Determinism enforces the reproducibility discipline in simulator-core
+// packages:
+//
+//   - no wall-clock reads (time.Now / time.Since / time.Until): simulated
+//     time is the only clock;
+//   - no math/rand (or math/rand/v2): all randomness must flow through
+//     internal/rng's named, seed-derived streams;
+//   - no map iteration whose body appends to a slice (unless the slice is
+//     sorted afterwards in the same function), accumulates floating-point
+//     values, or writes output — the three shapes through which Go's
+//     randomized map order leaks into results.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "in simulator-core packages, forbid wall-clock reads, direct math/rand use, " +
+		"and map iteration that leaks Go's randomized order into results",
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) error {
+	if !corePkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch impPath(imp) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"simulator-core package imports %s; all randomness must go through internal/rng's seed-derived streams",
+					impPath(imp))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObj(pass.Info, n); obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s reads the wall clock; simulator-core code must use simulated slot time only",
+						obj.Name())
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func impPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
+}
+
+// checkMapRange inspects one range statement over a map for the
+// order-leaking body shapes.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, n)
+		case *ast.CallExpr:
+			if obj := calleeObj(pass.Info, n); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				switch obj.Name() {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					pass.Reportf(n.Pos(),
+						"fmt.%s inside map iteration emits output in randomized map order; iterate sorted keys",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags float accumulation and unsorted appends inside
+// a map-range body.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		if len(as.Lhs) == 1 && isFloat(pass.Info.TypeOf(as.Lhs[0])) {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation in map-iteration order is not reproducible (rounding depends on visit order); iterate sorted keys")
+		}
+		return
+	}
+	// x = append(x, ...) — fine only when x is deterministically sorted
+	// after the loop in the same function (the collect-keys-then-sort
+	// idiom); anything else bakes map order into the slice.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			// Appending to a field or element: no sorted-after pattern we
+			// can verify, so report.
+			pass.Reportf(as.Pos(),
+				"append inside map iteration bakes randomized map order into the result; iterate sorted keys")
+			continue
+		}
+		obj := pass.Info.ObjectOf(target)
+		if obj == nil || !sortedAfter(pass, rng, obj) {
+			pass.Reportf(as.Pos(),
+				"append to %q inside map iteration bakes randomized map order into the slice; sort it afterwards or iterate sorted keys",
+				target.Name)
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortFuncs are the sort/slices entry points accepted as deterministic
+// post-loop fixes for a collected key slice.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj (the append target) is passed to an
+// approved sort function somewhere in the enclosing function after the
+// range loop.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	fn := enclosingFuncBody(pass, rng.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeObj(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		names, ok := sortFuncs[callee.Pkg().Path()]
+		if !ok || !names[callee.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal containing pos.
+func enclosingFuncBody(pass *Pass, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	for _, f := range pass.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || pos < n.Pos() || pos > n.End() {
+				return n == nil
+			}
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					body = fn.Body
+				}
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			return true
+		})
+	}
+	return body
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// LintModule runs the given analyzers over the module containing dir,
+// expanded from go-tool-style patterns ("./...", "./internal/core").
+// It returns all surviving diagnostics plus any packages' type errors
+// (analysis is best-effort in their presence, mirroring `go vet -e`).
+func LintModule(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, []error, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := loader.ModulePackages(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	var diags []Diagnostic
+	var soft []error
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: loading %s: %w", path, err)
+		}
+		soft = append(soft, pkg.TypeErrors...)
+		ds, err := Run(pkg, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, soft, nil
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// approvedEqFuncs are function names inside which raw float equality is
+// permitted: the named epsilon/sentinel helpers the rest of the codebase
+// is expected to call instead of comparing directly.
+var approvedEqFuncs = map[string]bool{
+	"ApproxEqual": true,
+	"approxEqual": true,
+	"AlmostEqual": true,
+	"almostEqual": true,
+	"EqWithin":    true,
+	"IsForbidden": true,
+	"feq":         true,
+}
+
+// FloatEq flags == and != between floating-point operands (including the
+// named float types such as units.Power), the classic source of
+// tolerance bugs in energy accounting. Two escapes are recognized:
+// comparison against the exact constant 0 (a sentinel, not a computed
+// value), and comparisons inside an approved epsilon helper
+// (ApproxEqual, IsForbidden, ...), which exist precisely to centralize
+// the discipline.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= between floating-point operands outside approved epsilon helpers " +
+		"and == 0 sentinel checks",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && approvedEqFuncs[fn.Name.Name] {
+				continue // the helper is where the discipline lives
+			}
+			checkFloatEqIn(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkFloatEqIn walks one declaration for raw float equality.
+func checkFloatEqIn(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if bin.Op != token.EQL && bin.Op != token.NEQ {
+			return true
+		}
+		xt, yt := pass.Info.TypeOf(bin.X), pass.Info.TypeOf(bin.Y)
+		if xt == nil || yt == nil || !isFloat(xt) || !isFloat(yt) {
+			return true
+		}
+		if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+			return true
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s comparison; use an epsilon helper (units.ApproxEqual, match.IsForbidden, ...) or restructure with ordered comparisons",
+			bin.Op)
+		return true
+	})
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}

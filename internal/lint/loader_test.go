@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFixtureTree materializes a throwaway GOPATH-src-style root so the
+// loader's failure paths can be exercised without committing broken Go
+// files (which would trip gofmt and editor tooling) to testdata.
+func writeFixtureTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoaderParseError(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{
+		"broken/broken.go": "package broken\nfunc {",
+	})
+	if _, err := NewFixtureLoader(root).Load("broken"); err == nil {
+		t.Error("Load of unparsable package: want error, got nil")
+	}
+}
+
+func TestLoaderEmptyDir(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{
+		"empty/README.txt": "no Go files here",
+	})
+	if _, err := NewFixtureLoader(root).Load("empty"); err == nil {
+		t.Error("Load of directory without Go files: want error, got nil")
+	}
+}
+
+func TestLoaderImportCycle(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{
+		"cyca/a.go": "package cyca\n\nimport _ \"cycb\"\n",
+		"cycb/b.go": "package cycb\n\nimport _ \"cyca\"\n",
+	})
+	loader := NewFixtureLoader(root)
+	if _, err := loader.Load("cyca"); err != nil {
+		t.Fatalf("cycle surfaced as hard error %v; want soft type errors", err)
+	}
+	// The in-progress guard fires while cycb (mid-load) re-imports cyca,
+	// so the cycle is recorded as cycb's type error.
+	inner, err := loader.Load("cycb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.TypeErrors) == 0 {
+		t.Error("import cycle: want type errors recording the cycle, got none")
+	}
+}
+
+// TestLoaderImporterInterface drives the types.Importer entry points
+// directly: unsafe, a fixture package, the per-path cache, and stdlib
+// fallthrough to the source importer.
+func TestLoaderImporterInterface(t *testing.T) {
+	loader := NewFixtureLoader(srcRoot)
+	u, err := loader.Import("unsafe")
+	if err != nil || u.Path() != "unsafe" {
+		t.Fatalf("Import(unsafe) = %v, %v", u, err)
+	}
+	p1, err := loader.Import("units")
+	if err != nil || p1.Name() != "units" {
+		t.Fatalf("Import(units) = %v, %v", p1, err)
+	}
+	p2, err := loader.Import("units")
+	if err != nil || p2 != p1 {
+		t.Errorf("second Import(units) = %v, %v; want the cached package", p2, err)
+	}
+	std, err := loader.Import("strings")
+	if err != nil || std.Name() != "strings" {
+		t.Errorf("Import(strings) via the source importer = %v, %v", std, err)
+	}
+}
+
+// TestRunAnalyzerError covers the driver path where an analyzer itself
+// fails (as opposed to reporting diagnostics).
+func TestRunAnalyzerError(t *testing.T) {
+	pkg, err := NewFixtureLoader(srcRoot).Load("mismatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := &Analyzer{Name: "boom", Doc: "always fails", Run: func(*Pass) error {
+		return errors.New("kaboom")
+	}}
+	if _, err := Run(pkg, []*Analyzer{boom}); err == nil {
+		t.Error("Run with a failing analyzer: want error, got nil")
+	}
+}
+
+// TestCollectWantsErrors covers the fixture harness's malformed-want
+// paths: a want with no quoted regexp, and one that does not compile.
+func TestCollectWantsErrors(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{
+		"noquote/a.go":  "package noquote\n\n// want no quoted regexp\nvar X = 0\n",
+		"badregex/a.go": "package badregex\n\n// want \"(\"\nvar X = 0\n",
+	})
+	for _, path := range []string{"noquote", "badregex"} {
+		if _, err := RunFixture(root, path, FloatEq); err == nil {
+			t.Errorf("RunFixture(%s): want error, got nil", path)
+		}
+	}
+}
+
+// TestIncludeTests checks the loader's test-file policy: gmlint skips
+// _test.go sources by default and picks them up when asked.
+func TestIncludeTests(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{
+		"pkg/a.go":      "package pkg\n\nvar A = 0\n",
+		"pkg/a_test.go": "package pkg\n\nvar B = A\n",
+	})
+	pkg, err := NewFixtureLoader(root).Load("pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pkg.Files); n != 1 {
+		t.Errorf("default loader parsed %d files, want 1 (tests excluded)", n)
+	}
+	withTests := NewFixtureLoader(root)
+	withTests.IncludeTests = true
+	pkg2, err := withTests.Load("pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pkg2.Files); n != 2 {
+		t.Errorf("IncludeTests loader parsed %d files, want 2", n)
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string // analyzer name, or "*" for all
+	reason   string
+	file     string
+	line     int // the line the directive suppresses (its own line, or the next when it stands alone)
+}
+
+// applySuppressions filters *diags in place, dropping findings covered by a
+// well-formed //lint:allow directive in the same file on the same line or
+// on the line immediately above. It returns additional diagnostics for
+// malformed directives (a suppression without an analyzer name and a
+// reason is itself a finding: silent, unexplained escapes are exactly what
+// the suite exists to prevent).
+func applySuppressions(pkg *Package, diags *[]Diagnostic) []Diagnostic {
+	var directives []allowDirective
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "gmlint",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: want `//lint:allow <analyzer> <reason>`",
+					})
+					continue
+				}
+				directives = append(directives, allowDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     pos.Filename,
+					line:     directiveLine(pkg, f, c),
+				})
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return malformed
+	}
+	kept := (*diags)[:0]
+	for _, d := range *diags {
+		if !suppressed(d, directives) {
+			kept = append(kept, d)
+		}
+	}
+	*diags = kept
+	return malformed
+}
+
+// directiveLine returns the source line a directive applies to: the line
+// of the directive itself when it trails code, or the following line when
+// the comment stands alone.
+func directiveLine(pkg *Package, f *ast.File, c *ast.Comment) int {
+	pos := pkg.Fset.Position(c.Pos())
+	tf := pkg.Fset.File(c.Pos())
+	if tf == nil {
+		return pos.Line
+	}
+	// A comment starting at column 1..  is not decisive; instead check
+	// whether any non-comment token shares its line by comparing against
+	// the line's start offset: if the comment is the first thing on the
+	// line, it suppresses the next line.
+	lineStart := tf.LineStart(pos.Line)
+	between := strings.TrimSpace(readSource(pkg, tf.Name(), tf.Offset(lineStart), tf.Offset(c.Pos())))
+	if between == "" {
+		return pos.Line + 1
+	}
+	return pos.Line
+}
+
+// sourceCache holds file contents read for directive placement decisions.
+var sourceCache = map[string][]byte{}
+
+func readSource(pkg *Package, filename string, from, to int) string {
+	data, ok := sourceCache[filename]
+	if !ok {
+		data, _ = os.ReadFile(filename)
+		sourceCache[filename] = data
+	}
+	if from < 0 || to > len(data) || from > to {
+		return ""
+	}
+	return string(data[from:to])
+}
+
+func suppressed(d Diagnostic, directives []allowDirective) bool {
+	for _, dir := range directives {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line != d.Pos.Line {
+			continue
+		}
+		if dir.analyzer == "*" || dir.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

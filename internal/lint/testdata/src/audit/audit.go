@@ -1,0 +1,15 @@
+// Package audit is the fixture stand-in for repro/internal/audit: the
+// observerhot analyzer recognizes observer/trace types by their defining
+// package's base name.
+package audit
+
+// SlotTrace is one slot's observation record.
+type SlotTrace struct {
+	Slot    int
+	BrownWh float64
+}
+
+// Observer consumes per-slot traces.
+type Observer interface {
+	ObserveSlot(SlotTrace)
+}

@@ -1,0 +1,84 @@
+// Fixture for the determinism analyzer. The directory is named "core" so
+// the package classifies as simulator-core, where the rules apply.
+package core
+
+import (
+	"fmt"
+	"math/rand" // want "simulator-core package imports math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()              // want "time.Now reads the wall clock"
+	_ = time.Since(time.Time{}) // want "time.Since reads the wall clock"
+	_ = rand.Int()
+	// Duration arithmetic on simulated quantities is fine.
+	_ = time.Duration(5) * time.Second
+}
+
+func mapOrderLeaks(m map[string]float64) ([]string, float64) {
+	var names []string
+	total := 0.0
+	for k, v := range m {
+		names = append(names, k) // want "append to \"names\" inside map iteration"
+		total += v               // want "floating-point accumulation in map-iteration order"
+		fmt.Println(k)           // want "fmt.Println inside map iteration"
+	}
+	return names, total
+}
+
+type holder struct{ out []int }
+
+func fieldAppend(m map[int]int, h *holder) {
+	for k := range m {
+		h.out = append(h.out, k) // want "append inside map iteration bakes randomized map order"
+	}
+}
+
+// collectThenSort is the blessed idiom: append inside the loop is fine
+// because the slice is deterministically sorted before anyone reads it.
+func collectThenSort(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortsTheWrongSlice collects into one slice but sorts another: the
+// post-loop sort must name the append target to count.
+func sortsTheWrongSlice(m map[string]int) []string {
+	var keys []string
+	other := []string{"b", "a"}
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration"
+	}
+	sort.Strings(other)
+	_ = len(keys)
+	return keys
+}
+
+// sliceRange ranges over a slice, which iterates in index order: none of
+// the map rules apply.
+func sliceRange(xs []float64) float64 {
+	total := 0.0
+	var out []float64
+	for _, v := range xs {
+		total += v
+		out = append(out, v)
+	}
+	_ = out
+	return total
+}
+
+// intAccumulation in map order is exact (integer addition commutes), so
+// only float accumulation is flagged.
+func intAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

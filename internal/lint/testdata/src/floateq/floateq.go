@@ -1,0 +1,46 @@
+// Fixture for the floateq analyzer: raw float equality, the zero-sentinel
+// escape, and the approved-helper escape.
+package floateq
+
+import "units"
+
+func compares(a, b float64, p, q units.Power) {
+	_ = a == b // want "floating-point == comparison"
+	_ = a != b // want "floating-point != comparison"
+	_ = p == q // want "floating-point == comparison"
+	_ = p != q // want "floating-point != comparison"
+}
+
+func sentinels(a float64, p units.Power) {
+	_ = a == 0   // comparing against the exact constant 0 is a sentinel check
+	_ = 0 == a   //
+	_ = a != 0   //
+	_ = a-1 == 0 // the blessed identity-check spelling
+	_ = p == 0   //
+}
+
+func ordered(a, b float64) bool {
+	// Ordered comparisons are the recommended restructuring and are free.
+	if a < b {
+		return true
+	}
+	return a >= b
+}
+
+func ints(i, j int) bool { return i == j }
+
+// ApproxEqual is an approved helper name: the raw comparison inside it is
+// the single place the discipline is allowed to live.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// feq is the approved short-form helper name.
+func feq(a, b float64) bool { return a == b }

@@ -1,0 +1,9 @@
+// Fixture for malformed //lint:allow directives, checked directly by
+// TestMalformedDirective (the malformed diagnostic lands on the comment's
+// own line, where a want comment cannot sit without changing the parse).
+package malformed
+
+func compares(a, b float64) bool {
+	//lint:allow floateq
+	return a == b
+}

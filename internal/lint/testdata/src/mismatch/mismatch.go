@@ -1,0 +1,9 @@
+// Fixture for RunFixture's own failure paths, checked by
+// TestRunFixtureMismatch: one undeclared diagnostic and one want that
+// nothing matches.
+package mismatch
+
+func compares(a, b float64) {
+	_ = a == b
+	_ = a // want "this regexp matches no diagnostic"
+}

@@ -1,0 +1,63 @@
+// Fixture for the observerhot analyzer: the zero-cost-when-disabled
+// observability contract on //gm:hotpath functions.
+package observerhot
+
+import (
+	"audit"
+	"fmt"
+)
+
+// emit assembles and delivers a trace; its contract is "caller guards".
+//
+//gm:observed
+func emit(o audit.Observer, slot int) {
+	o.ObserveSlot(audit.SlotTrace{Slot: slot})
+}
+
+// step is the per-slot hot path; everything observer-flavored below is
+// unguarded and must be flagged.
+//
+//gm:hotpath
+func step(o audit.Observer, slot int) {
+	fmt.Printf("slot %d\n", slot)              // want "fmt.Printf on the hot path without a nil-observer guard"
+	emit(o, slot)                              // want "call to //gm:observed function emit" "use of audit-typed value on the hot path"
+	o.ObserveSlot(audit.SlotTrace{Slot: slot}) // want "use of audit-typed value on the hot path" "audit-typed literal on the hot path"
+}
+
+// stepGuarded is the same hot path done right: one nil check dominates all
+// observer work, so nothing here is flagged.
+//
+//gm:hotpath
+func stepGuarded(o audit.Observer, slot int) {
+	if o != nil {
+		fmt.Printf("slot %d\n", slot)
+		emit(o, slot)
+		o.ObserveSlot(audit.SlotTrace{Slot: slot})
+	}
+	if slot > 0 && o != nil {
+		emit(o, slot) // &&-combined guards count
+	}
+	x := slot * 2 // plain arithmetic on the hot path is free
+	if x < 0 {
+		panic(fmt.Sprintf("bad slot %d", slot)) // fmt feeding a panic is exempt
+	}
+}
+
+// elseBranch: the else of a nil check is the observer-off path, so fmt
+// there is still hot-path work.
+//
+//gm:hotpath
+func elseBranch(o audit.Observer, slot int) {
+	if o != nil {
+		emit(o, slot)
+	} else {
+		fmt.Println("no observer") // want "fmt.Println on the hot path without a nil-observer guard"
+	}
+}
+
+// notHot carries no annotation: the analyzer leaves cold paths alone even
+// when they do observer work unguarded.
+func notHot(o audit.Observer, slot int) {
+	fmt.Println("cold path", slot)
+	emit(o, slot)
+}

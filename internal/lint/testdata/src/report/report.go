@@ -1,0 +1,11 @@
+// Fixture proving the sink exemption: a package whose base name is a
+// declared serialization sink (report, plot, audit, units) may strip
+// units freely — its whole job is emitting raw numbers.
+package report
+
+import "units"
+
+// Render strips units with no diagnostics expected anywhere in this file.
+func Render(p units.Power, e units.Energy) (float64, float64) {
+	return float64(p), float64(e)
+}

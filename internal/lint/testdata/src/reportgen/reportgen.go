@@ -1,0 +1,18 @@
+// Fixture proving determinism's scope: this directory's base name is not
+// in the simulator-core set, so wall clocks, math/rand, and map-order
+// patterns pass without diagnostics (offline tooling may use them).
+package reportgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() (time.Time, int, float64) {
+	m := map[string]float64{"a": 1}
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return time.Now(), rand.Int(), total
+}

@@ -1,0 +1,14 @@
+// Fixture for //lint:allow suppression: trailing, standalone, and
+// wildcard forms, plus proof that unsuppressed findings survive.
+package suppress
+
+func compares(a, b float64) {
+	_ = a == b //lint:allow floateq fixture exercises the trailing-comment form
+	_ = a != b // want "floating-point != comparison"
+	//lint:allow floateq fixture exercises the standalone-comment form
+	_ = a == b
+	//lint:allow * fixture exercises the wildcard analyzer form
+	_ = a == b
+	//lint:allow determinism a directive for a different analyzer does not suppress
+	_ = a == b // want "floating-point == comparison"
+}

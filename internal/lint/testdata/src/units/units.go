@@ -1,0 +1,38 @@
+// Package units is the fixture stand-in for repro/internal/units: the
+// analyzers match unit types by (package base name, type name), so this
+// tiny copy lets fixtures exercise unitsafety without importing the real
+// module.
+package units
+
+// Power is an instantaneous electrical power in watts.
+type Power float64
+
+// Energy is an amount of electrical energy in watt-hours.
+type Energy float64
+
+// Common scale constants.
+const (
+	Watt         Power  = 1
+	KilowattHour Energy = 1000
+)
+
+// Over converts power held for hours into energy.
+func (p Power) Over(hours float64) Energy { return Energy(float64(p) * hours) }
+
+// Rate converts energy over hours into average power.
+func (e Energy) Rate(hours float64) Power { return Power(float64(e) / hours) }
+
+// Watts reports p in watts as a raw float.
+func (p Power) Watts() float64 { return float64(p) }
+
+// KW reports p in kilowatts.
+func (p Power) KW() float64 { return float64(p) / 1000 }
+
+// Wh reports e in watt-hours as a raw float.
+func (e Energy) Wh() float64 { return float64(e) }
+
+// KWh reports e in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) / 1000 }
+
+// Scale returns e scaled by the dimensionless factor k.
+func (e Energy) Scale(k float64) Energy { return Energy(float64(e) * k) }

@@ -1,0 +1,40 @@
+// Fixture for the unitsafety analyzer: stripping, crossing, and literal
+// arithmetic on typed quantities.
+package unitsafety
+
+import "units"
+
+func strips(p units.Power, e units.Energy) {
+	_ = float64(p) // want "conversion of units.Power to float64 strips the unit"
+	_ = float64(e) // want "conversion of units.Energy to float64 strips the unit"
+	var f32 float32
+	f32 = float32(p) // want "conversion of units.Power to float32 strips the unit"
+	_ = f32
+}
+
+func crosses(p units.Power, e units.Energy) {
+	_ = units.Energy(p) // want "direct conversion of units.Power to units.Energy bypasses the slot width"
+	_ = units.Power(e)  // want "direct conversion of units.Energy to units.Power bypasses the slot width"
+}
+
+func literals(p units.Power, e units.Energy) {
+	_ = p + 1500 // want "bare numeric literal 1500 added to units.Power"
+	_ = e - 2.5  // want "bare numeric literal 2.5 subtracted from units.Energy"
+	_ = 3 + e    // want "bare numeric literal 3 added to units.Energy"
+}
+
+// clean is the true-negative half: every blessed escape in one place.
+func clean(p units.Power, e units.Energy) {
+	_ = p.Watts()         // named accessor, not a cast
+	_ = p.KW()            //
+	_ = e.Wh()            //
+	_ = e.KWh()           //
+	_ = p.Over(2)         // the power/energy boundary done right
+	_ = e.Rate(2)         //
+	_ = e.Scale(0.5)      // dimensionless scaling keeps the unit
+	_ = p + 0             // adding zero is unit-preserving
+	_ = p + units.Watt    // named scale constant
+	_ = units.Energy(e)   // same-kind conversion is a no-op, not a strip
+	_ = p * 2             // multiplication by a literal scales, it does not shift
+	_ = float64(len("x")) // unrelated conversion
+}

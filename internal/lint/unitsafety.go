@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// unitSinkPkgs are the package base names allowed to strip units from
+// typed quantities: the units package itself (it implements the blessed
+// helpers Over, Rate, KW, KWh, Watts, Wh, Scale) and the presentation /
+// observability sinks, whose whole job is serializing quantities to raw
+// numbers.
+var unitSinkPkgs = map[string]bool{
+	"units":  true,
+	"report": true,
+	"plot":   true,
+	"audit":  true,
+}
+
+// UnitSafety flags code that silently strips or mixes the typed watt /
+// watt-hour quantities from internal/units:
+//
+//   - a conversion of units.Power or units.Energy to a raw float (use the
+//     named accessors Watts()/Wh()/KW()/KWh(), or stay in typed units);
+//   - a direct conversion between Power and Energy (only Over and Rate may
+//     cross the power/energy boundary, because the slot width must be
+//     involved);
+//   - an untyped numeric literal added to or subtracted from a typed
+//     quantity (use a named scale constant such as units.KilowattHour).
+//
+// Conversions inside the units package and the report/plot/audit sinks
+// are exempt.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc: "flag conversions of units.Power/units.Energy to raw floats, Power<->Energy " +
+		"conversions that bypass Over/Rate, and bare numeric literals added to typed quantities",
+	Run: runUnitSafety,
+}
+
+func runUnitSafety(pass *Pass) error {
+	if unitSinkPkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkUnitLiteralArith(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnitConversion flags T(x) conversions that strip units (T a raw
+// float) or cross the Power/Energy boundary.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	argT := pass.Info.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	fromKind := unitKind(argT)
+	if fromKind == "" {
+		return
+	}
+	dst := tv.Type
+	toKind := unitKind(dst)
+	if toKind != "" && toKind != fromKind {
+		pass.Reportf(call.Pos(),
+			"direct conversion of units.%s to units.%s bypasses the slot width; use Over or Rate",
+			fromKind, toKind)
+		return
+	}
+	if b, ok := dst.Underlying().(*types.Basic); ok && toKind == "" && b.Info()&types.IsFloat != 0 {
+		accessor := "Watts() or KW()"
+		if fromKind == "Energy" {
+			accessor = "Wh() or KWh()"
+		}
+		pass.Reportf(call.Pos(),
+			"conversion of units.%s to %s strips the unit; use %s, or keep the arithmetic in typed units",
+			fromKind, dst.String(), accessor)
+	}
+}
+
+// checkUnitLiteralArith flags `q + 1500`-style expressions: an untyped,
+// non-zero numeric literal combined additively with a typed quantity.
+func checkUnitLiteralArith(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD && bin.Op != token.SUB {
+		return
+	}
+	check := func(qty, other ast.Expr) {
+		qt := pass.Info.TypeOf(qty)
+		if qt == nil || unitKind(qt) == "" {
+			return
+		}
+		lit, ok := ast.Unparen(other).(*ast.BasicLit)
+		if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+			return
+		}
+		if tv, ok := pass.Info.Types[lit]; ok && tv.Value != nil && constant.Sign(tv.Value) == 0 {
+			return // adding zero is unit-preserving and harmless
+		}
+		pass.Reportf(lit.Pos(),
+			"bare numeric literal %s %s units.%s; use a named scale constant (units.Watt, units.KilowattHour, ...)",
+			lit.Value, arithVerb(bin.Op), unitKind(qt))
+	}
+	check(bin.X, bin.Y)
+	check(bin.Y, bin.X)
+}
+
+func arithVerb(op token.Token) string {
+	if op == token.SUB {
+		return "subtracted from"
+	}
+	return "added to"
+}

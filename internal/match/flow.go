@@ -131,7 +131,7 @@ func Flow(in Instance) (Result, error) {
 	for j := 0; j < n; j++ {
 		g.addEdge(src, 1+j, 1, 0)
 		for s, w := range in.Weights[j] {
-			if w == Forbidden || in.Capacity[s] == 0 {
+			if IsForbidden(w) || in.Capacity[s] == 0 {
 				continue
 			}
 			jobSlotEdge[[2]int{j, s}] = g.addEdge(1+j, 1+n+s, 1, bigW-w)

@@ -17,7 +17,7 @@ func Greedy(in Instance) (Result, error) {
 		order[j] = j
 		b := Forbidden
 		for s, w := range in.Weights[j] {
-			if w != Forbidden && in.Capacity[s] > 0 && w > b {
+			if !IsForbidden(w) && in.Capacity[s] > 0 && w > b {
 				b = w
 			}
 		}
@@ -35,7 +35,7 @@ func Greedy(in Instance) (Result, error) {
 		bestSlot := -1
 		bestW := Forbidden
 		for s, w := range in.Weights[j] {
-			if w == Forbidden || remaining[s] == 0 {
+			if IsForbidden(w) || remaining[s] == 0 {
 				continue
 			}
 			if w > bestW {

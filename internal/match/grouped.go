@@ -3,6 +3,7 @@ package match
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // GroupedResult is the solution of a transportation-form assignment: how
@@ -36,7 +37,7 @@ func FlowGrouped(weights [][]float64, supply []int, capacity []int) (GroupedResu
 			return GroupedResult{}, fmt.Errorf("match: group %d has %d weights, want %d", gi, len(row), m)
 		}
 		for s, w := range row {
-			if w == Forbidden {
+			if IsForbidden(w) {
 				continue
 			}
 			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
@@ -69,7 +70,7 @@ func FlowGrouped(weights [][]float64, supply []int, capacity []int) (GroupedResu
 		}
 		fg.addEdge(src, 1+gi, supply[gi], 0)
 		for s, w := range weights[gi] {
-			if w == Forbidden || capacity[s] == 0 {
+			if IsForbidden(w) || capacity[s] == 0 {
 				continue
 			}
 			edgeCap := supply[gi]
@@ -90,8 +91,22 @@ func FlowGrouped(weights [][]float64, supply []int, capacity []int) (GroupedResu
 	for gi := range res.Count {
 		res.Count[gi] = make([]int, m)
 	}
-	for key, ei := range edgeOf {
-		f := fg.edges[ei].flow
+	// Settle edges in sorted key order: res.Weight is a floating-point
+	// accumulation, and summing in Go's randomized map-iteration order
+	// would make its rounding — and with it the run-twice byte-determinism
+	// contract — irreproducible.
+	keys := make([][2]int, 0, len(edgeOf))
+	for key := range edgeOf {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		f := fg.edges[edgeOf[key]].flow
 		if f < 0 {
 			return GroupedResult{}, fmt.Errorf("match: negative flow on edge %v", key)
 		}

@@ -39,7 +39,7 @@ func Hungarian(in Instance) (Result, error) {
 			return dummyCost
 		}
 		w := in.Weights[j][s]
-		if w == Forbidden {
+		if IsForbidden(w) {
 			return forbiddenCost
 		}
 		return bigW - w
@@ -111,7 +111,7 @@ func Hungarian(in Instance) (Result, error) {
 		if s < 0 {
 			continue // dummy: job stays unassigned
 		}
-		if in.Weights[row][s] == Forbidden {
+		if IsForbidden(in.Weights[row][s]) {
 			// Only reachable when the job had no feasible slot at all and
 			// the dummies were exhausted, which cannot happen (n dummies,
 			// n rows); keep it unassigned defensively.

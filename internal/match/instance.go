@@ -22,6 +22,12 @@ import (
 // outside the job's deadline window).
 var Forbidden = math.Inf(-1)
 
+// IsForbidden reports whether w is the Forbidden sentinel. It is the
+// approved comparison helper (see docs/LINTING.md, floateq): -Inf is an
+// exact IEEE value, so equality here is well-defined, and centralizing
+// the check keeps raw float equality out of the solvers.
+func IsForbidden(w float64) bool { return w == Forbidden }
+
 // Instance is one assignment problem. Weights[j][s] is the benefit of
 // placing job j in slot s (finite, >= 0) or Forbidden. Capacity[s] is the
 // number of jobs slot s can take.
@@ -43,7 +49,7 @@ func (in Instance) Validate() error {
 			return fmt.Errorf("match: job %d has %d weights, want %d", j, len(row), in.Slots())
 		}
 		for s, w := range row {
-			if w == Forbidden {
+			if IsForbidden(w) {
 				continue
 			}
 			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
@@ -64,7 +70,7 @@ func (in Instance) maxWeight() float64 {
 	max := 0.0
 	for _, row := range in.Weights {
 		for _, w := range row {
-			if w != Forbidden && w > max {
+			if !IsForbidden(w) && w > max {
 				max = w
 			}
 		}
@@ -107,7 +113,7 @@ func (in Instance) checkFeasible(assign []int) {
 		if s >= in.Slots() {
 			panic(fmt.Sprintf("match: job %d assigned to nonexistent slot %d", j, s))
 		}
-		if in.Weights[j][s] == Forbidden {
+		if IsForbidden(in.Weights[j][s]) {
 			panic(fmt.Sprintf("match: job %d assigned to forbidden slot %d", j, s))
 		}
 		used[s]++

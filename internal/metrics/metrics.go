@@ -66,8 +66,8 @@ func (a EnergyAccount) TotalSupplied() units.Energy {
 // the two settlement identities. Integration tests require it to be within
 // floating-point noise.
 func (a EnergyAccount) ConservationError() float64 {
-	cons := math.Abs(float64(a.TotalLoad() - a.TotalSupplied()))
-	prod := math.Abs(float64(a.GreenProduced - (a.GreenDirect + a.BatteryInAccepted + a.GreenLost)))
+	cons := math.Abs((a.TotalLoad() - a.TotalSupplied()).Wh())
+	prod := math.Abs((a.GreenProduced - (a.GreenDirect + a.BatteryInAccepted + a.GreenLost)).Wh())
 	return math.Max(cons, prod)
 }
 
@@ -78,7 +78,7 @@ func (a EnergyAccount) GreenUtilization() float64 {
 	if a.GreenProduced == 0 {
 		return 0
 	}
-	return float64(a.GreenDirect+a.BatteryOut) / float64(a.GreenProduced)
+	return (a.GreenDirect + a.BatteryOut).Wh() / a.GreenProduced.Wh()
 }
 
 // BrownFraction returns the fraction of the total load supplied by the grid.
@@ -86,7 +86,7 @@ func (a EnergyAccount) BrownFraction() float64 {
 	if a.TotalSupplied() == 0 {
 		return 0
 	}
-	return float64(a.Brown) / float64(a.TotalSupplied())
+	return a.Brown.Wh() / a.TotalSupplied().Wh()
 }
 
 // TotalLosses returns everything dissipated or wasted: battery-internal

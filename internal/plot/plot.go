@@ -49,7 +49,7 @@ func niceTicks(lo, hi float64, n int) []float64 {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	if hi == lo {
+	if hi-lo == 0 {
 		return []float64{lo}
 	}
 	rawStep := (hi - lo) / float64(n-1)
@@ -112,10 +112,10 @@ func (c *Chart) SVG() (string, error) {
 	if ymin > 0 {
 		ymin = 0
 	}
-	if ymax == ymin {
+	if ymax-ymin == 0 {
 		ymax = ymin + 1
 	}
-	if xmax == xmin {
+	if xmax-xmin == 0 {
 		xmax = xmin + 1
 	}
 
@@ -200,7 +200,7 @@ func formatTick(v float64) string {
 		return fmt.Sprintf("%.3gM", v/1e6)
 	case av >= 1e4:
 		return fmt.Sprintf("%.3gk", v/1e3)
-	case av == math.Trunc(av):
+	case av-math.Trunc(av) == 0:
 		return fmt.Sprintf("%.0f", v)
 	default:
 		return fmt.Sprintf("%.3g", v)

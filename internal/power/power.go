@@ -76,7 +76,7 @@ func (s ServerProfile) Draw(cpuUtil float64) units.Power {
 	if alpha <= 0 {
 		alpha = 1
 	}
-	return s.IdleW + units.Power(float64(s.PeakW-s.IdleW)*math.Pow(cpuUtil, alpha))
+	return s.IdleW + (s.PeakW - s.IdleW).Scale(math.Pow(cpuUtil, alpha))
 }
 
 // WithDVFS returns a copy of the profile with the given dynamic exponent.
@@ -219,11 +219,11 @@ func (d DiskProfile) CycleEnergy() units.Energy {
 // a spin-down to save energy relative to staying idle: cycleEnergy /
 // (idleW - standbyW). It returns +Inf when standby saves nothing.
 func (d DiskProfile) BreakEvenHours() float64 {
-	saving := float64(d.IdleW - d.StandbyW)
+	saving := (d.IdleW - d.StandbyW).Watts()
 	if saving <= 0 {
 		return math.Inf(1)
 	}
-	return float64(d.CycleEnergy()) / saving
+	return d.CycleEnergy().Wh() / saving
 }
 
 // NodeProfile bundles a server profile with the disk population of a
@@ -256,11 +256,11 @@ func (n NodeProfile) Validate() error {
 
 // MaxNodePower returns the draw of a node at full CPU with all disks active.
 func (n NodeProfile) MaxNodePower() units.Power {
-	return n.Server.PeakW + units.Power(float64(n.Disk.ActiveW)*float64(n.DisksPerNode))
+	return n.Server.PeakW + n.Disk.ActiveW.Scale(float64(n.DisksPerNode))
 }
 
 // MinOnNodePower returns the draw of a powered-on node at idle with all
 // disks in standby — the floor cost of keeping a node available.
 func (n NodeProfile) MinOnNodePower() units.Power {
-	return n.Server.IdleW + units.Power(float64(n.Disk.StandbyW)*float64(n.DisksPerNode))
+	return n.Server.IdleW + n.Disk.StandbyW.Scale(float64(n.DisksPerNode))
 }

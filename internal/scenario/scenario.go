@@ -116,7 +116,9 @@ func Default() Scenario {
 // golden regression tests and `gmtrace -kind run -scale` use it to run
 // paper-scale scenario files quickly.
 func (s Scenario) Scaled(f float64) Scenario {
-	if f <= 0 || f == 1 {
+	// f-1 == 0 is the exact identity-scale check in floateq's blessed
+	// compare-against-zero form: Scaled(1) must return s unchanged.
+	if f <= 0 || f-1 == 0 {
 		return s
 	}
 	round := func(n int) int { return int(math.Round(float64(n) * f)) }

@@ -110,11 +110,17 @@ func FFDAvoiding(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float6
 	// First-Fit-Decreasing for the rest.
 	sort.Slice(free, func(i, j int) bool {
 		a, b := free[i], free[j]
-		if a.CPU != b.CPU {
-			return a.CPU > b.CPU
+		if a.CPU > b.CPU {
+			return true
 		}
-		if a.RAM != b.RAM {
-			return a.RAM > b.RAM
+		if a.CPU < b.CPU {
+			return false
+		}
+		if a.RAM > b.RAM {
+			return true
+		}
+		if a.RAM < b.RAM {
+			return false
 		}
 		return a.ID < b.ID
 	})

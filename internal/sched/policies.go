@@ -65,15 +65,15 @@ func (p DeferFraction) reserve() int {
 // Plan implements Policy.
 func (p DeferFraction) Plan(v View) Decision {
 	d := Decision{Consolidate: true, SpinDownDisks: true}
-	headroom := float64(greenAt(v, 0)) - float64(v.EstMandatoryPowerW)
+	headroom := greenAt(v, 0).Watts() - v.EstMandatoryPowerW.Watts()
 	// Power the already-running deferrable work is drawing.
-	runningW := float64(v.PerJobPowerW) * float64(len(v.RunningDeferrable))
+	runningW := v.PerJobPowerW.Watts() * float64(len(v.RunningDeferrable))
 
 	if headroom >= runningW {
 		// Green covers running deferrables; start as many waiting ones as
 		// the remaining headroom allows, non-participants first (they never
 		// wait), then participants by ascending slack.
-		budget := int((headroom - runningW) / float64(v.PerJobPowerW))
+		budget := int((headroom - runningW) / v.PerJobPowerW.Watts())
 		if sj := v.spaceJobs(); budget > sj {
 			budget = sj
 		}
@@ -240,12 +240,12 @@ func (g GreenMatch) Plan(v View) Decision {
 	capacity := make([]int, h)
 	headroomNow := 0.0
 	for k := 0; k < h; k++ {
-		head := float64(greenAt(v, k)) - float64(v.EstMandatoryPowerW)
+		head := greenAt(v, k).Watts() - v.EstMandatoryPowerW.Watts()
 		if k == 0 {
 			headroomNow = head
 		}
 		if head > 0 {
-			capacity[k] = int(head / float64(v.PerJobPowerW))
+			capacity[k] = int(head / v.PerJobPowerW.Watts())
 		}
 		if capacity[k] > spaceJobs {
 			capacity[k] = spaceJobs
@@ -336,12 +336,12 @@ func (g GreenMatch) Plan(v View) Decision {
 	// energy the suspension would shift into the sun mostly reaches the
 	// load through the battery anyway (at sigma), so paying save/restore
 	// and consolidation-migration costs to shift it buys almost nothing.
-	runningW := float64(v.PerJobPowerW) * float64(len(v.RunningDeferrable))
+	runningW := v.PerJobPowerW.Watts() * float64(len(v.RunningDeferrable))
 	if headroomNow < runningW {
 		// "Meaningful" ESD: it can carry at least two hours of the
 		// mandatory load, so day-to-night shifting through it works.
 		batteryBuffers := g.BatteryAware && v.BatteryEfficiency > 0 &&
-			float64(v.BatteryUsableWh) >= 2*float64(v.EstMandatoryPowerW)
+			v.BatteryUsableWh.Wh() >= 2*v.EstMandatoryPowerW.Watts()
 		if !batteryBuffers {
 			for i, r := range v.RunningDeferrable {
 				if stickyDefer(r.Job.ID, g.fraction()) && r.SlackAt(v.Slot) > g.reserve() {
@@ -374,7 +374,7 @@ func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
 	if remaining < 1 {
 		remaining = 1
 	}
-	perJob := float64(v.PerJobPowerW)
+	perJob := v.PerJobPowerW.Watts()
 	// Battery-aware discount: if the ESD has headroom, the surplus this
 	// job would soak up directly would otherwise still reach the load at
 	// efficiency sigma through the battery — deferral's marginal value per
@@ -398,7 +398,7 @@ func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
 		}
 		covered := 0.0
 		for t := k; t < k+remaining && t < h; t++ {
-			head := float64(greenAt(v, t)) - float64(v.EstMandatoryPowerW)
+			head := greenAt(v, t).Watts() - v.EstMandatoryPowerW.Watts()
 			if head <= 0 {
 				continue
 			}

@@ -47,8 +47,11 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+	if h[i].Time < h[j].Time {
+		return true
+	}
+	if h[i].Time > h[j].Time {
+		return false
 	}
 	if h[i].Priority != h[j].Priority {
 		return h[i].Priority < h[j].Priority

@@ -59,7 +59,7 @@ func (s Series) Peak() units.Power {
 func (s Series) Scale(f float64) Series {
 	out := make(Series, len(s))
 	for i, p := range s {
-		out[i] = units.Power(float64(p) * f)
+		out[i] = p.Scale(f)
 	}
 	return out
 }
@@ -146,7 +146,7 @@ func (s Series) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for i, p := range s {
-		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(float64(p), 'f', 3, 64)}); err != nil {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(p.Watts(), 'f', 3, 64)}); err != nil {
 			return err
 		}
 	}

@@ -52,6 +52,24 @@ func (e Energy) KWh() float64 { return float64(e) / 1000 }
 // KW reports p in kilowatts.
 func (p Power) KW() float64 { return float64(p) / 1000 }
 
+// Wh reports e in watt-hours as a raw float. It is the blessed escape
+// hatch for serialization and math/stdlib interop; gmlint's unitsafety
+// analyzer flags ad-hoc float64(e) conversions so that every place a
+// quantity sheds its unit is greppable by this name.
+func (e Energy) Wh() float64 { return float64(e) }
+
+// Watts reports p in watts as a raw float. See Energy.Wh for why this
+// exists instead of ad-hoc float64 conversions.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Scale returns e scaled by the dimensionless factor k (fleet sizes,
+// derate factors, shares). Using Scale instead of converting through raw
+// floats keeps the unit attached through the arithmetic.
+func (e Energy) Scale(k float64) Energy { return Energy(float64(e) * k) }
+
+// Scale returns p scaled by the dimensionless factor k.
+func (p Power) Scale(k float64) Power { return Power(float64(p) * k) }
+
 // String formats the power with an automatically chosen SI prefix.
 func (p Power) String() string {
 	v := float64(p)

@@ -60,7 +60,7 @@ func (t Turbine) Output(speed float64) units.Power {
 		// Cubic interpolation on speed^3 between cut-in and rated.
 		num := math.Pow(speed, 3) - math.Pow(t.CutInSpeed, 3)
 		den := math.Pow(t.RatedSpeed, 3) - math.Pow(t.CutInSpeed, 3)
-		return units.Power(float64(t.RatedPower) * num / den)
+		return units.Power(t.RatedPower.Watts() * num / den)
 	}
 }
 
@@ -127,7 +127,7 @@ func Generate(cfg FarmConfig) (solar.Series, error) {
 		if speed < 0 {
 			speed = 0
 		}
-		out[i] = units.Power(float64(cfg.Turbine.Output(speed)) * float64(cfg.Count))
+		out[i] = cfg.Turbine.Output(speed).Scale(float64(cfg.Count))
 	}
 	return out, nil
 }
