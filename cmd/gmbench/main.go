@@ -1,0 +1,383 @@
+// Command gmbench records the repository's performance trajectory: it runs
+// the Go benchmark suite N times, computes per-benchmark medians (ns/op,
+// allocs/op, B/op, and custom metrics such as the experiment harness's
+// `result`), writes a timestamped BENCH_<stamp>.json snapshot, and prints a
+// benchstat-style delta table against the most recent previous snapshot in
+// the output directory.
+//
+// Examples:
+//
+//	gmbench                                  # full suite, 5 runs, snapshot + delta
+//	gmbench -count 3 -bench 'Sweep|Simulator'
+//	gmbench -bench FFD -cpuprofile ffd.pprof -pkg .
+//
+// The JSON snapshots are the repo's persisted perf baseline: commit them so
+// future PRs can quantify wins and regressions against a measured history
+// instead of folklore. See docs/PROFILING.md.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is one BENCH_<stamp>.json file: the environment plus the median
+// statistics of every benchmark that ran.
+type Snapshot struct {
+	// Stamp is the RFC3339 capture time; it also names the file.
+	Stamp string `json:"stamp"`
+	// GoVersion, GOOS, GOARCH and CPU describe the environment the numbers
+	// were measured in; deltas across different environments are apples to
+	// oranges and the delta table says so.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// Count is the -count each benchmark ran with (medians are over these).
+	Count int `json:"count"`
+	// BenchRegex and Packages echo the selection.
+	BenchRegex string   `json:"bench_regex"`
+	Packages   []string `json:"packages"`
+	// Benchmarks holds one entry per distinct benchmark name.
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is the median statistics of one benchmark across the -count runs.
+type Bench struct {
+	// Pkg is the import path the benchmark lives in.
+	Pkg string `json:"pkg"`
+	// Name is the full benchmark name including sub-benchmark path.
+	Name string `json:"name"`
+	// Runs is how many samples the medians are over.
+	Runs int `json:"runs"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the median standard metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds medians of custom b.ReportMetric units (e.g. "result",
+	// "slots/s", "runs/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benchRE    = fs.String("bench", ".", "benchmark regex passed to go test -bench")
+		count      = fs.Int("count", 5, "runs per benchmark; medians are computed over these")
+		benchtime  = fs.String("benchtime", "", "go test -benchtime (e.g. 1s, 10x); empty = go default")
+		pkgs       = fs.String("pkg", "./...", "comma-separated package patterns to bench")
+		outDir     = fs.String("out", ".", "directory for BENCH_<stamp>.json (and where the previous snapshot is looked up)")
+		noFile     = fs.Bool("n", false, "dry run: print the delta table but write no snapshot file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile via go test -cpuprofile (requires a single package in -pkg)")
+		memprofile = fs.String("memprofile", "", "write a heap profile via go test -memprofile (requires a single package in -pkg)")
+		timeoutStr = fs.String("timeout", "30m", "go test -timeout for the whole bench run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *count < 1 {
+		fmt.Fprintln(stderr, "gmbench: -count must be >= 1")
+		return 2
+	}
+	patterns := strings.Split(*pkgs, ",")
+	if (*cpuprofile != "" || *memprofile != "") && (len(patterns) != 1 || strings.Contains(patterns[0], "...")) {
+		// go test rejects profile flags across multiple packages; insist on
+		// an unambiguous target so the profile maps to one binary.
+		fmt.Fprintln(stderr, "gmbench: -cpuprofile/-memprofile need a single package in -pkg (e.g. -pkg .)")
+		return 2
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *benchRE, "-benchmem",
+		"-count", strconv.Itoa(*count), "-timeout", *timeoutStr}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	if *cpuprofile != "" {
+		goArgs = append(goArgs, "-cpuprofile", *cpuprofile)
+	}
+	if *memprofile != "" {
+		goArgs = append(goArgs, "-memprofile", *memprofile)
+	}
+	goArgs = append(goArgs, patterns...)
+
+	fmt.Fprintf(stderr, "gmbench: go %s\n", strings.Join(goArgs, " "))
+	cmd := exec.Command("go", goArgs...)
+	var out bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&out, stderr) // live progress + capture
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(stderr, "gmbench: bench run failed: %v\n", err)
+		return 1
+	}
+
+	benches, cpu := parseBenchOutput(out.String())
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "gmbench: no benchmark results parsed; check the -bench regex")
+		return 1
+	}
+	now := time.Now().UTC()
+	snap := Snapshot{
+		Stamp:      now.Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpu,
+		Count:      *count,
+		BenchRegex: *benchRE,
+		Packages:   patterns,
+		Benchmarks: benches,
+	}
+
+	prev, prevPath, err := latestSnapshot(*outDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "gmbench: reading previous snapshot: %v\n", err)
+		return 1
+	}
+
+	if !*noFile {
+		name := fmt.Sprintf("BENCH_%s.json", now.Format("20060102-150405"))
+		path := filepath.Join(*outDir, name)
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "gmbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "gmbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "gmbench: snapshot written to %s\n", path)
+	}
+
+	if prev == nil {
+		fmt.Fprintf(stdout, "No previous BENCH_*.json in %s; recorded baseline with %d benchmarks.\n", *outDir, len(benches))
+		return 0
+	}
+	fmt.Fprintf(stdout, "Delta vs %s:\n\n", filepath.Base(prevPath))
+	if prev.GOOS != snap.GOOS || prev.GOARCH != snap.GOARCH || prev.CPU != snap.CPU {
+		fmt.Fprintf(stdout, "WARNING: environment changed (%s/%s %q -> %s/%s %q); deltas are not comparable.\n\n",
+			prev.GOOS, prev.GOARCH, prev.CPU, snap.GOOS, snap.GOARCH, snap.CPU)
+	}
+	writeDelta(stdout, prev, &snap)
+	return 0
+}
+
+// benchLine matches one `go test -bench` result line: name, iteration
+// count, then metric pairs ("62847 ns/op", "38 allocs/op", "31.99 runs/s").
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix is the -N decoration go test appends to benchmark names
+// when GOMAXPROCS != 1; it is environment, not identity, so strip it.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts per-benchmark median statistics (and the `cpu:`
+// header) from go test -bench output spanning any number of packages.
+func parseBenchOutput(out string) ([]Bench, string) {
+	type sample struct {
+		ns, bytes, allocs float64
+		metrics           map[string]float64
+	}
+	samples := map[[2]string][]sample{} // (pkg, name) -> runs
+	var order [][2]string
+	pkg, cpu := "", ""
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		s := sample{metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.ns = v
+			case "B/op":
+				s.bytes = v
+			case "allocs/op":
+				s.allocs = v
+			default:
+				s.metrics[unit] = v
+			}
+		}
+		key := [2]string{pkg, name}
+		if _, seen := samples[key]; !seen {
+			order = append(order, key)
+		}
+		samples[key] = append(samples[key], s)
+	}
+	var benches []Bench
+	for _, key := range order {
+		runs := samples[key]
+		b := Bench{Pkg: key[0], Name: key[1], Runs: len(runs)}
+		b.NsPerOp = median(runs, func(s sample) float64 { return s.ns })
+		b.BytesPerOp = median(runs, func(s sample) float64 { return s.bytes })
+		b.AllocsPerOp = median(runs, func(s sample) float64 { return s.allocs })
+		units := map[string]bool{}
+		for _, r := range runs {
+			for u := range r.metrics {
+				units[u] = true
+			}
+		}
+		if len(units) > 0 {
+			b.Metrics = map[string]float64{}
+			for u := range units {
+				b.Metrics[u] = median(runs, func(s sample) float64 { return s.metrics[u] })
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches, cpu
+}
+
+// median computes the median of f over the samples (mean of the middle two
+// for even counts).
+func median[T any](xs []T, f func(T) float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	vs := make([]float64, len(xs))
+	for i, x := range xs {
+		vs[i] = f(x)
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// latestSnapshot loads the lexicographically newest BENCH_*.json in dir
+// (stamped names sort chronologically). Returns (nil, "", nil) when none
+// exists.
+func latestSnapshot(dir string) (*Snapshot, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(matches) == 0 {
+		return nil, "", nil
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, path, nil
+}
+
+// writeDelta prints a benchstat-style comparison of two snapshots: median
+// ns/op, allocs/op and the custom `result` metric, with percentage deltas
+// (negative ns/op and allocs/op deltas are improvements).
+func writeDelta(w io.Writer, prev, cur *Snapshot) {
+	type row struct {
+		name     string
+		old, new *Bench
+	}
+	index := map[string]*Bench{}
+	for i := range prev.Benchmarks {
+		b := &prev.Benchmarks[i]
+		index[b.Pkg+"."+b.Name] = b
+	}
+	var rows []row
+	seen := map[string]bool{}
+	for i := range cur.Benchmarks {
+		b := &cur.Benchmarks[i]
+		key := b.Pkg + "." + b.Name
+		seen[key] = true
+		rows = append(rows, row{name: key, old: index[key], new: b})
+	}
+	for i := range prev.Benchmarks {
+		b := &prev.Benchmarks[i]
+		if key := b.Pkg + "." + b.Name; !seen[key] {
+			rows = append(rows, row{name: key, old: b})
+		}
+	}
+	fmt.Fprintf(w, "%-58s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	for _, r := range rows {
+		switch {
+		case r.old == nil:
+			fmt.Fprintf(w, "%-58s %14s %14.0f %8s %12s %12.0f %8s\n",
+				r.name, "-", r.new.NsPerOp, "new", "-", r.new.AllocsPerOp, "new")
+		case r.new == nil:
+			fmt.Fprintf(w, "%-58s %14.0f %14s %8s %12.0f %12s %8s\n",
+				r.name, r.old.NsPerOp, "-", "gone", r.old.AllocsPerOp, "-", "gone")
+		default:
+			fmt.Fprintf(w, "%-58s %14.0f %14.0f %8s %12.0f %12.0f %8s\n",
+				r.name, r.old.NsPerOp, r.new.NsPerOp, pct(r.old.NsPerOp, r.new.NsPerOp),
+				r.old.AllocsPerOp, r.new.AllocsPerOp, pct(r.old.AllocsPerOp, r.new.AllocsPerOp))
+		}
+	}
+	// Result metrics in a second block: these are correctness canaries
+	// (the experiment's headline number), so any drift deserves eyes.
+	var drifted []string
+	for _, r := range rows {
+		if r.old == nil || r.new == nil {
+			continue
+		}
+		or, oOK := r.old.Metrics["result"]
+		nr, nOK := r.new.Metrics["result"]
+		// Exact comparison on purpose: result metrics are correctness
+		// canaries, so even last-ulp drift deserves eyes.
+		if oOK && nOK && (or < nr || nr < or) {
+			drifted = append(drifted, fmt.Sprintf("  %s: result %v -> %v", r.name, or, nr))
+		}
+	}
+	if len(drifted) > 0 {
+		fmt.Fprintf(w, "\nRESULT METRIC DRIFT (benchmark outcomes changed, not just their speed):\n%s\n",
+			strings.Join(drifted, "\n"))
+	} else {
+		fmt.Fprintf(w, "\nResult metrics: no drift.\n")
+	}
+}
+
+// pct renders the relative change from old to new.
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}

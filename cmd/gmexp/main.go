@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/audit"
@@ -21,26 +23,66 @@ import (
 	"repro/internal/report"
 )
 
-func main() {
-	var (
-		id         = flag.String("id", "", "experiment ID to run (E1..E21)")
-		all        = flag.Bool("all", false, "run every experiment")
-		list       = flag.Bool("list", false, "list the registry and exit")
-		scale      = flag.Float64("scale", 0.25, "scenario scale (1.0 = paper scale; smaller is faster)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
-		html       = flag.String("html", "", "also write a self-contained HTML report (tables + SVG charts) to this file")
-		jobs       = flag.Int("j", 0, "sweep workers per experiment: 0 = one per core (GREENMATCH_WORKERS overrides), 1 = sequential")
-		doAudit    = flag.Bool("audit", false, "attach the energy-conservation auditor to every run; violations fail the experiment")
-		auditTrace = flag.String("audit-trace", "", "write every run's per-slot audit trace as JSONL to this file")
-	)
-	flag.Parse()
+var (
+	id         = flag.String("id", "", "experiment ID to run (E1..E21)")
+	all        = flag.Bool("all", false, "run every experiment")
+	list       = flag.Bool("list", false, "list the registry and exit")
+	scale      = flag.Float64("scale", 0.25, "scenario scale (1.0 = paper scale; smaller is faster)")
+	seed       = flag.Int64("seed", 1, "random seed")
+	csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+	html       = flag.String("html", "", "also write a self-contained HTML report (tables + SVG charts) to this file")
+	jobs       = flag.Int("j", 0, "sweep workers per experiment: 0 = one per core (GREENMATCH_WORKERS overrides), 1 = sequential")
+	doAudit    = flag.Bool("audit", false, "attach the energy-conservation auditor to every run; violations fail the experiment")
+	auditTrace = flag.String("audit-trace", "", "write every run's per-slot audit trace as JSONL to this file")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (inspect with `go tool pprof`)")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
+)
 
+// main only handles profiling setup/teardown around run: profiles must be
+// flushed on every exit path, and os.Exit would skip defers.
+func main() {
+	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+	}
+	code := run()
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		err = pprof.WriteHeapProfile(f)
+		cerr := f.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmexp:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(code)
+}
+
+func run() int {
 	if *list {
 		for _, e := range expt.All() {
 			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var toRun []expt.Experiment
@@ -51,12 +93,12 @@ func main() {
 		e, ok := expt.ByID(*id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "gmexp: unknown experiment %q (use -list)\n", *id)
-			os.Exit(2)
+			return 2
 		}
 		toRun = []expt.Experiment{e}
 	default:
 		fmt.Fprintln(os.Stderr, "gmexp: pass -id E<N>, -all, or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	p := expt.Params{Scale: *scale, Seed: *seed, Workers: *jobs, Audit: *doAudit}
@@ -64,7 +106,7 @@ func main() {
 		f, err := os.Create(*auditTrace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmexp:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		p.AuditSink = audit.NewJSONL(f) // goroutine-safe: shared by sweep workers
@@ -118,7 +160,7 @@ func main() {
 		f, err := os.Create(*html)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmexp:", err)
-			os.Exit(1)
+			return 1
 		}
 		title := fmt.Sprintf("GreenMatch evaluation — scale %.2g, seed %d (%s)",
 			*scale, *seed, strings.TrimSuffix(func() string {
@@ -135,7 +177,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmexp:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *html)
 	}
@@ -147,9 +189,10 @@ func main() {
 			msg := strings.ReplaceAll(f.err.Error(), "\n", "\n    ")
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", f.id, msg)
 		}
-		os.Exit(1)
+		return 1
 	}
 	if *doAudit {
 		fmt.Fprintf(os.Stderr, "gmexp: audit passed: every run conserved energy within tolerance\n")
 	}
+	return 0
 }

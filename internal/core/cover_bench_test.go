@@ -15,9 +15,9 @@ func BenchmarkCoveredOnCacheHit(b *testing.B) {
 	}
 	nodes := sim.cfg.Cluster.Nodes
 	// A few recurring node sets, as the power plan produces across slots.
-	sets := make([]map[int]bool, 4)
+	sets := make([][]bool, 4)
 	for i := range sets {
-		m := make(map[int]bool, nodes)
+		m := make([]bool, nodes)
 		for n := 0; n <= i+nodes/2 && n < nodes; n++ {
 			m[n] = true
 		}

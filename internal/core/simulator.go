@@ -8,6 +8,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/fault"
+	"repro/internal/forecast"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/simevent"
@@ -29,6 +30,13 @@ type jobState struct {
 	suspensions int
 	migrations  int
 	completedAt int // -1 until completed
+
+	// mark is transient per-slot scratch: step sets it on jobs the policy
+	// selected (to suspend or to start) and clears it again while filtering
+	// the queues in the same slot. It replaces the per-slot ID-keyed map
+	// sets the slot loop used to allocate, and is never meaningful across
+	// slot boundaries.
+	mark bool
 }
 
 // Result is the outcome of one simulation run.
@@ -82,14 +90,36 @@ type Simulator struct {
 	mandQueue []*jobState // mandatory, not yet placed
 	running   []*jobState
 
-	fullCover      []storage.DiskID
-	fullCoverNodes map[int]bool
-	// coverCache memoizes CoverOnNodes results by powered-node set: the
+	fullCover []storage.DiskID
+	// fullCoverNodeIDs is the sorted node set hosting the minimal cover.
+	fullCoverNodeIDs []int
+	// coverCache memoizes CoverOnNodeMask results by powered-node set: the
 	// same node sets recur across slots and greedy set cover is the
 	// simulator's hottest path. coverKey is the reusable key scratch
 	// buffer (one byte per node), so cache hits allocate nothing.
 	coverCache map[string][]storage.DiskID
 	coverKey   []byte
+
+	// Per-slot scratch state, sized once in New and reset — never
+	// reallocated — each slot, so the steady-state slot loop is
+	// allocation-free (asserted by the AllocsPerRun regression tests; the
+	// discipline is documented in docs/PROFILING.md). All of it is
+	// per-Simulator, keeping concurrent Runs race-free.
+	toStart     []*jobState    // start set assembled each slot
+	viewWaiting []sched.JobRef // backing array for View.Waiting
+	viewRunDef  []sched.JobRef // backing array for View.RunningDeferrable
+	waitingRefs []*jobState    // jobStates aligned with viewWaiting
+	runDefRefs  []*jobState    // jobStates aligned with viewRunDef
+	forecastBuf []units.Power  // PredictInto buffer
+	predictInto forecast.IntoPredictor
+	needed      []bool       // node id -> must be powered
+	ioNodes     []bool       // node id -> hosts an I/O-bound job
+	keepMask    []bool       // flat disk index -> keep spinning
+	failedMask  []bool       // node id -> crashed, awaiting repair
+	cpuUtil     []float64    // node id -> CPU utilization
+	healthyPow  []int        // healthy powered node ids (fault path)
+	placer      sched.Placer // reusable FFD engine
+	placeItems  []sched.PlaceItem
 
 	acct      metrics.EnergyAccount
 	sla       metrics.SLAAccount
@@ -166,9 +196,33 @@ func New(cfg Config) (*Simulator, error) {
 		obs:     cfg.Observer,
 	}
 	s.fullCover = cluster.MinimalCover()
-	s.fullCoverNodes = make(map[int]bool)
+	onCover := make([]bool, cfg.Cluster.Nodes)
 	for _, id := range s.fullCover {
-		s.fullCoverNodes[id.Node] = true
+		if !onCover[id.Node] {
+			onCover[id.Node] = true
+			s.fullCoverNodeIDs = append(s.fullCoverNodeIDs, id.Node)
+		}
+	}
+	sort.Ints(s.fullCoverNodeIDs)
+
+	// Pre-size the per-slot scratch state from the scenario dimensions so
+	// the slot loop never grows it. The queue-shaped scratch (toStart, view
+	// backings) grows amortized to the high-water concurrency instead —
+	// trace length would massively over-allocate for long runs.
+	nodes := cfg.Cluster.Nodes
+	s.needed = make([]bool, nodes)
+	s.ioNodes = make([]bool, nodes)
+	s.failedMask = make([]bool, nodes)
+	s.cpuUtil = make([]float64, nodes)
+	s.keepMask = make([]bool, nodes*cfg.Cluster.NodeProfile.DisksPerNode)
+	s.coverKey = make([]byte, nodes)
+	s.coverCache = make(map[string][]storage.DiskID)
+	if ip, ok := cfg.Forecaster.(forecast.IntoPredictor); ok {
+		// All forecasters in this repository predict into the reusable
+		// buffer; a custom Forecaster without PredictInto falls back to the
+		// allocating Predict path in buildView.
+		s.predictInto = ip
+		s.forecastBuf = make([]units.Power, 0, 24)
 	}
 	for _, j := range cfg.Trace {
 		if j.Submit > s.lastArrival {
@@ -315,18 +369,20 @@ func (s *Simulator) stepFailures(t int) {
 	for id, due := range s.repairAt {
 		if due <= t {
 			s.cluster.RepairNode(id)
+			s.failedMask[id] = false
 			delete(s.repairAt, id)
 		}
 	}
 	// The engine draws its MTBF Bernoullis over the healthy powered nodes
 	// in node order — the historical draw discipline — then appends any
 	// event-scheduled crashes.
-	var healthyPowered []int
+	healthyPowered := s.healthyPow[:0]
 	for _, n := range s.cluster.Nodes() {
 		if !n.Failed && n.Powered {
 			healthyPowered = append(healthyPowered, n.ID)
 		}
 	}
+	s.healthyPow = healthyPowered
 	for _, c := range s.faults.Crashes(t, healthyPowered) {
 		if s.cluster.Node(c.Node).Failed {
 			continue // an explicit event named a node already down
@@ -341,6 +397,7 @@ func (s *Simulator) crashNode(t, node, repairSlots int) {
 	lost := s.cluster.FailNode(node)
 	s.sla.NodeFailures++
 	s.repairAt[node] = t + repairSlots
+	s.failedMask[node] = true
 	// Evict the node's jobs: progress is kept (the VM image survives
 	// on shared replicas), placement is lost.
 	kept := s.running[:0]
@@ -380,17 +437,13 @@ func (s *Simulator) crashNode(t, node, repairSlots int) {
 	}
 }
 
-// failedNodes returns the currently failed node set (nil when failure
-// injection is off).
-func (s *Simulator) failedNodes() map[int]bool {
+// failedNodes returns the failed-node mask, or nil when no node is down
+// (the common case, letting callers skip mask reads entirely).
+func (s *Simulator) failedNodes() []bool {
 	if len(s.repairAt) == 0 {
 		return nil
 	}
-	out := make(map[int]bool, len(s.repairAt))
-	for id := range s.repairAt {
-		out[id] = true
-	}
-	return out
+	return s.failedMask
 }
 
 // step executes one slot.
@@ -433,16 +486,21 @@ func (s *Simulator) step(t int) {
 	}
 
 	// 3. Apply suspensions (running deferrable -> waiting). Each one
-	// charges the VM save/restore energy alongside migrations.
+	// charges the VM save/restore energy alongside migrations. The decision
+	// indexes view.RunningDeferrable; runDefRefs (built alongside the view)
+	// resolves each index to its jobState, which is marked and then
+	// filtered out of s.running in place. Marks are cleared as they are
+	// consumed: every marked job is non-mandatory (runDefRefs only lists
+	// those) and still in s.running, so the filter visits all of them.
 	var mgmtE units.Energy
 	if len(dec.SuspendRunning) > 0 {
-		suspendSet := make(map[int]bool, len(dec.SuspendRunning))
 		for _, idx := range dec.SuspendRunning {
-			suspendSet[view.RunningDeferrable[idx].Job.ID] = true
+			s.runDefRefs[idx].mark = true
 		}
 		keptRunning := s.running[:0]
 		for _, st := range s.running {
-			if suspendSet[st.job.ID] && !st.mandatory {
+			if st.mark && !st.mandatory {
+				st.mark = false
 				st.running = false
 				st.node = -1
 				st.suspensions++
@@ -457,24 +515,27 @@ func (s *Simulator) step(t int) {
 	}
 
 	// 4. Collect starts: all mandatory plus the policy's picks. The view
-	// was built before suspensions mutated s.waiting, and promotion ran
-	// before the view, so view.Waiting indices still address the same jobs;
-	// resolve by ID to stay robust.
-	startIDs := make(map[int]bool)
+	// was built before suspensions appended to s.waiting, and promotion ran
+	// before the view, so waitingRefs still addresses the selected jobs —
+	// by pointer, so the append-churn on s.waiting in step 3 cannot
+	// misdirect the marks. toStart is per-Simulator scratch: it only holds
+	// jobState pointers, never aliases the queue backing arrays, and stays
+	// valid while place() rewrites the queues below.
 	for _, idx := range dec.StartWaiting {
-		startIDs[view.Waiting[idx].Job.ID] = true
+		s.waitingRefs[idx].mark = true
 	}
-	var toStart []*jobState
-	toStart = append(toStart, s.mandQueue...)
+	toStart := append(s.toStart[:0], s.mandQueue...)
 	keptWaiting := s.waiting[:0]
 	for _, st := range s.waiting {
-		if startIDs[st.job.ID] {
+		if st.mark {
+			st.mark = false
 			toStart = append(toStart, st)
 		} else {
 			keptWaiting = append(keptWaiting, st)
 		}
 	}
 	s.waiting = keptWaiting
+	s.toStart = toStart
 
 	// 5. Placement (returns migration energy; together with suspension
 	// energy it forms the VM-management overhead, accounted separately
@@ -502,11 +563,13 @@ func (s *Simulator) step(t int) {
 	}
 
 	// 9. Power draw and energy settlement.
-	cpuUtil := s.cpuUtilByNode()
+	var cpuUtil []float64
 	if s.cfg.ModelUtilization {
 		cpuUtil = s.actualUtilByNode(t)
+	} else {
+		cpuUtil = s.cpuUtilByNode()
 	}
-	demandP := s.cluster.SlotDraw(cpuUtil)
+	demandP := s.cluster.SlotDrawUtil(cpuUtil)
 	demandE := demandP.Over(h)
 	s.acct.Demand += demandE
 	s.acct.TransitionOverhead += overhead
@@ -589,7 +652,7 @@ func (s *Simulator) step(t int) {
 			}
 		}
 	}
-	s.nodeHours += float64(len(s.cluster.PoweredNodes())) * h
+	s.nodeHours += float64(s.cluster.PoweredNodeCount()) * h
 	s.diskHours += float64(spun) * h
 	if s.series != nil {
 		s.series.Add(metrics.SlotSample{
@@ -602,7 +665,7 @@ func (s *Simulator) step(t int) {
 			BrownW:      brown.Rate(h).Watts(),
 			GreenLostW:  (surplus - accepted).Rate(h).Watts(),
 			BatterySoC:  s.bat.SoC(),
-			NodesOn:     len(s.cluster.PoweredNodes()),
+			NodesOn:     s.cluster.PoweredNodeCount(),
 			DisksSpun:   spun,
 			JobsRunning: jobsRunning,
 			JobsWaiting: len(s.waiting) + len(s.mandQueue),
@@ -747,7 +810,7 @@ func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision
 		Deferred:          len(s.waiting),
 		Consolidate:       dec.Consolidate,
 		SpinDownDisks:     dec.SpinDownDisks,
-		NodesOn:           len(s.cluster.PoweredNodes()),
+		NodesOn:           s.cluster.PoweredNodeCount(),
 		DisksSpun:         spun,
 		NodeBoots:         boots - s.prevBoots,
 		NodeShutdowns:     shutdowns - s.prevShutdowns,
@@ -774,12 +837,22 @@ func (s *Simulator) emitTrace(t int, h float64, fl slotFlows, dec sched.Decision
 	s.obs.ObserveSlot(tr)
 }
 
-// buildView assembles the policy's view of the current slot.
+// buildView assembles the policy's view of the current slot. The Waiting
+// and RunningDeferrable slices (and the aligned waitingRefs/runDefRefs
+// jobState lookups step uses to resolve decision indices) live in
+// per-Simulator scratch reused across slots; policies are pure planners and
+// must not retain them past Plan.
 func (s *Simulator) buildView(t int) sched.View {
 	// The forecaster predicts nominal production — supply faults blindside
 	// the scheduler by design — and forecast-corruption faults then distort
 	// what it gets to see.
-	pred := s.cfg.Forecaster.Predict(s.cfg.Green, t, 24)
+	var pred []units.Power
+	if s.predictInto != nil {
+		s.forecastBuf = s.predictInto.PredictInto(s.forecastBuf, s.cfg.Green, t, 24)
+		pred = s.forecastBuf
+	} else {
+		pred = s.cfg.Forecaster.Predict(s.cfg.Green, t, 24)
+	}
 	if s.faults != nil {
 		pred = s.faults.CorruptForecast(t, pred)
 	}
@@ -813,16 +886,24 @@ func (s *Simulator) buildView(t int) sched.View {
 	if math.IsInf(v.BatteryUsableWh.Wh(), 1) {
 		v.BatteryUsableWh = units.Energy(math.MaxFloat64)
 	}
+	s.viewWaiting = s.viewWaiting[:0]
+	s.waitingRefs = s.waitingRefs[:0]
 	for _, st := range s.waiting {
-		v.Waiting = append(v.Waiting, sched.JobRef{Job: st.job, Remaining: st.remaining})
+		s.viewWaiting = append(s.viewWaiting, sched.JobRef{Job: st.job, Remaining: st.remaining})
+		s.waitingRefs = append(s.waitingRefs, st)
 	}
+	v.Waiting = s.viewWaiting
+	s.viewRunDef = s.viewRunDef[:0]
+	s.runDefRefs = s.runDefRefs[:0]
 	for _, st := range s.running {
 		if !st.mandatory && st.job.Class.Deferrable() {
-			v.RunningDeferrable = append(v.RunningDeferrable, sched.JobRef{
+			s.viewRunDef = append(s.viewRunDef, sched.JobRef{
 				Job: st.job, Remaining: st.remaining, Running: true, Node: st.node,
 			})
+			s.runDefRefs = append(s.runDefRefs, st)
 		}
 	}
+	v.RunningDeferrable = s.viewRunDef
 	return v
 }
 
@@ -836,7 +917,7 @@ func (s *Simulator) buildView(t int) sched.View {
 // falls back to the analytic estimate.
 func (s *Simulator) estMandatoryPower() units.Power {
 	np := s.cfg.Cluster.NodeProfile
-	floor := np.MinOnNodePower().Scale(float64(len(s.fullCoverNodes)))
+	floor := np.MinOnNodePower().Scale(float64(len(s.fullCoverNodeIDs)))
 	if s.lastDrawW > 0 {
 		est := s.lastDrawW - s.cfg.PerJobPowerW.Scale(float64(s.lastRunDeferrable))
 		return units.MaxPower(est, floor)
@@ -851,8 +932,8 @@ func (s *Simulator) estMandatoryPower() units.Power {
 		cpu += st.job.CPU
 	}
 	nodesNeeded := int(math.Ceil(cpu / (s.cfg.Cluster.CPUPerNode * s.cfg.Overcommit)))
-	if nodesNeeded < len(s.fullCoverNodes) {
-		nodesNeeded = len(s.fullCoverNodes)
+	if nodesNeeded < len(s.fullCoverNodeIDs) {
+		nodesNeeded = len(s.fullCoverNodeIDs)
 	}
 	base := np.Server.IdleW + np.Disk.IdleW.Scale(float64(np.DisksPerNode))
 	dynamic := (np.Server.PeakW - np.Server.IdleW).Scale(cpu / s.cfg.Cluster.CPUPerNode)
@@ -863,38 +944,37 @@ func (s *Simulator) estMandatoryPower() units.Power {
 // repacks everything (counting migrations); otherwise running jobs stay
 // pinned and only new jobs are placed. Returns the migration energy.
 func (s *Simulator) place(t int, toStart []*jobState, consolidate bool) units.Energy {
-	items := make([]sched.PlaceItem, 0, len(s.running)+len(toStart))
-	byID := make(map[int]*jobState, len(s.running)+len(toStart))
+	items := s.placeItems[:0]
 	for _, st := range s.running {
 		pin := st.node
 		if consolidate {
 			pin = -1
 		}
 		items = append(items, sched.PlaceItem{ID: st.job.ID, CPU: st.job.CPU, RAM: st.job.RAMGB, Pinned: pin})
-		byID[st.job.ID] = st
 	}
 	for _, st := range toStart {
 		items = append(items, sched.PlaceItem{ID: st.job.ID, CPU: st.job.CPU, RAM: st.job.RAMGB, Pinned: -1})
-		byID[st.job.ID] = st
 	}
-	pl, err := sched.FFDAvoiding(items, s.cfg.Cluster.Nodes, s.cfg.Cluster.CPUPerNode,
-		s.cfg.Cluster.RAMPerNodeGB, s.cfg.Overcommit, s.failedNodes())
-	if err != nil {
+	s.placeItems = items
+	if err := s.placer.Place(items, s.cfg.Cluster.Nodes, s.cfg.Cluster.CPUPerNode,
+		s.cfg.Cluster.RAMPerNodeGB, s.cfg.Overcommit, s.failedNodes()); err != nil {
 		panic(fmt.Sprintf("core: placement failed: %v", err))
 	}
 
+	// items indices line up with s.running then toStart; the placer keys
+	// its answer by that index, so no ID map is needed. nRunning is pinned
+	// before the seating loop below appends to s.running.
 	var migE units.Energy
-	unplaced := make(map[int]bool, len(pl.Unplaced))
-	for _, id := range pl.Unplaced {
-		unplaced[id] = true
-	}
+	nRunning := len(s.running)
 
-	// Settle running jobs: migrations, or forced stay for unplaced.
-	for _, st := range s.running {
-		if unplaced[st.job.ID] {
-			continue // stays on its current node; capacity pressure is absorbed by over-commit clamping
+	// Settle running jobs: migrations, or forced stay for unplaced (the
+	// job keeps its current node; capacity pressure is absorbed by
+	// over-commit clamping).
+	for i, st := range s.running {
+		newNode := s.placer.NodeOf(i)
+		if newNode < 0 {
+			continue
 		}
-		newNode := pl.NodeOf[st.job.ID]
 		if newNode != st.node {
 			st.node = newNode
 			st.migrations++
@@ -903,8 +983,9 @@ func (s *Simulator) place(t int, toStart []*jobState, consolidate bool) units.En
 		}
 	}
 	// Seat starters; unplaced ones return to their queue.
-	for _, st := range toStart {
-		if unplaced[st.job.ID] {
+	for k, st := range toStart {
+		newNode := s.placer.NodeOf(nRunning + k)
+		if newNode < 0 {
 			if st.mandatory {
 				s.mandQueue = appendUnique(s.mandQueue, st)
 			} else {
@@ -912,7 +993,7 @@ func (s *Simulator) place(t int, toStart []*jobState, consolidate bool) units.En
 			}
 			continue
 		}
-		st.node = pl.NodeOf[st.job.ID]
+		st.node = newNode
 		st.running = true
 		if !st.everStarted {
 			st.everStarted = true
@@ -951,8 +1032,10 @@ func appendUnique(xs []*jobState, st *jobState) []*jobState {
 // parks every disk outside the coverage set and the I/O-pinned set. It
 // returns the transition energy.
 func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
-	needed := make(map[int]bool)
-	ioNodes := make(map[int]bool)
+	needed := s.needed
+	ioNodes := s.ioNodes
+	clear(needed)
+	clear(ioNodes)
 	for _, st := range s.running {
 		needed[st.node] = true
 		if st.job.IOBound {
@@ -961,16 +1044,17 @@ func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
 	}
 
 	var overhead units.Energy
-	var keep map[storage.DiskID]bool
+	keep := s.keepMask
+	clear(keep)
+	perNode := s.cfg.Cluster.NodeProfile.DisksPerNode
 
-	failed := s.failedNodes()
 	if spinDown {
 		cover, ok := s.coveredOn(needed)
 		if !ok {
 			// Expand with the precomputed full-cover nodes (minus any that
 			// have failed), which suffice whenever the cluster is healthy.
-			for n := range s.fullCoverNodes {
-				if !failed[n] {
+			for _, n := range s.fullCoverNodeIDs {
+				if !s.failedMask[n] {
 					needed[n] = true
 				}
 			}
@@ -978,7 +1062,9 @@ func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
 			if !ok {
 				// Failures left some objects with no reachable replica:
 				// cover what is coverable on every healthy node; the
-				// remainder shows up as unserved reads.
+				// remainder shows up as unserved reads. This path only runs
+				// while a failure partitions the placement, so it may
+				// allocate.
 				healthy := make(map[int]bool)
 				for _, n := range s.cluster.Nodes() {
 					if !n.Failed {
@@ -992,27 +1078,33 @@ func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
 				}
 			}
 		}
-		keep = make(map[storage.DiskID]bool, len(cover))
 		for _, id := range cover {
-			keep[id] = true
+			keep[id.Node*perNode+id.Disk] = true
 			needed[id.Node] = true
 		}
 		// I/O-bound jobs need their node's disks spinning.
-		for n := range ioNodes {
-			for _, d := range s.cluster.Node(n).Disks {
-				keep[d.ID] = true
+		for n, io := range ioNodes {
+			if !io {
+				continue
+			}
+			base := n * perNode
+			for k := 0; k < perNode; k++ {
+				keep[base+k] = true
 			}
 		}
 	} else {
-		for n := range s.fullCoverNodes {
-			if !failed[n] {
+		for _, n := range s.fullCoverNodeIDs {
+			if !s.failedMask[n] {
 				needed[n] = true
 			}
 		}
-		keep = make(map[storage.DiskID]bool)
-		for n := range needed {
-			for _, d := range s.cluster.Node(n).Disks {
-				keep[d.ID] = true
+		for n, on := range needed {
+			if !on {
+				continue
+			}
+			base := n * perNode
+			for k := 0; k < perNode; k++ {
+				keep[base+k] = true
 			}
 		}
 	}
@@ -1025,32 +1117,28 @@ func (s *Simulator) applyPowerPlan(spinDown bool) units.Energy {
 			overhead += s.cluster.PowerOffNode(n.ID)
 		}
 	}
-	overhead += s.cluster.ApplyDiskPlan(keep)
+	overhead += s.cluster.ApplyDiskPlanMask(keep)
 	return overhead
 }
 
-// coveredOn is CoverOnNodes with memoization by node-set key (the failed
-// set participates in the key: a node set covers differently depending on
-// which nodes are crashed). A nil result (set cannot cover) is cached too,
-// as a sentinel. The key is built in a per-Simulator scratch buffer and
-// only materialized into a string on a cache miss, so the per-slot hit
-// path is allocation-free.
-func (s *Simulator) coveredOn(nodes map[int]bool) ([]storage.DiskID, bool) {
-	if s.coverKey == nil {
-		s.coverKey = make([]byte, s.cfg.Cluster.Nodes)
-	}
+// coveredOn is CoverOnNodeMask with memoization by node-set key (the
+// failed set participates in the key: a node set covers differently
+// depending on which nodes are crashed). A nil result (set cannot cover)
+// is cached too, as a sentinel. The key is built in a per-Simulator
+// scratch buffer and only materialized into a string on a cache miss, so
+// the per-slot hit path is allocation-free.
+func (s *Simulator) coveredOn(nodes []bool) ([]storage.DiskID, bool) {
 	key := s.coverKey
 	for i := range key {
 		key[i] = 0
 	}
-	for n := range nodes {
-		key[n] = 1
+	for n, on := range nodes {
+		if on {
+			key[n] = 1
+		}
 	}
 	for n := range s.repairAt {
 		key[n] |= 2
-	}
-	if s.coverCache == nil {
-		s.coverCache = make(map[string][]storage.DiskID)
 	}
 	// map[string] lookup keyed by string(key) does not allocate; the
 	// conversion is only paid when inserting a miss.
@@ -1060,7 +1148,7 @@ func (s *Simulator) coveredOn(nodes map[int]bool) ([]storage.DiskID, bool) {
 		}
 		return cached, true
 	}
-	cover, ok := s.cluster.CoverOnNodes(nodes)
+	cover, ok := s.cluster.CoverOnNodeMask(nodes)
 	if !ok {
 		s.coverCache[string(key)] = []storage.DiskID{{Node: -1, Disk: -1}}
 		return nil, false
@@ -1094,8 +1182,9 @@ func (s *Simulator) markIOBusy() units.Energy {
 // actualUtilByNode computes per-node CPU utilization from the jobs'
 // modeled per-slot demand (reservation x utilization factor), clamped to 1
 // — any residual overload after resolveOverloads is throttled hardware.
-func (s *Simulator) actualUtilByNode(t int) map[int]float64 {
-	util := make(map[int]float64)
+func (s *Simulator) actualUtilByNode(t int) []float64 {
+	util := s.cpuUtil
+	clear(util)
 	for _, st := range s.running {
 		util[st.node] += st.job.CPU * st.job.UtilAt(t) / s.cfg.Cluster.CPUPerNode
 	}
@@ -1191,8 +1280,9 @@ func (s *Simulator) resolveOverloads(t int) units.Energy {
 
 // cpuUtilByNode computes per-node CPU utilization from running jobs,
 // clamped to 1 (over-commit can oversubscribe nominal capacity).
-func (s *Simulator) cpuUtilByNode() map[int]float64 {
-	util := make(map[int]float64)
+func (s *Simulator) cpuUtilByNode() []float64 {
+	util := s.cpuUtil
+	clear(util)
 	for _, st := range s.running {
 		util[st.node] += st.job.CPU / s.cfg.Cluster.CPUPerNode
 	}

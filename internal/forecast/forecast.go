@@ -28,6 +28,29 @@ type Forecaster interface {
 	Predict(actual solar.Provider, now, horizon int) []units.Power
 }
 
+// IntoPredictor is the allocation-free variant of Forecaster that per-slot
+// callers probe for: PredictInto fills a caller-owned buffer instead of
+// allocating a fresh slice on every call. Every forecaster in this package
+// implements it; the simulator type-asserts once at construction and falls
+// back to Predict for custom forecasters that do not.
+type IntoPredictor interface {
+	// PredictInto writes estimated power for slots now..now+horizon-1 into
+	// dst (reusing its backing array when cap(dst) >= horizon) and returns
+	// the filled slice of length horizon.
+	PredictInto(dst []units.Power, actual solar.Provider, now, horizon int) []units.Power
+}
+
+// fill resizes dst to horizon, reusing its backing array when possible,
+// with every element zeroed.
+func fill(dst []units.Power, horizon int) []units.Power {
+	if cap(dst) < horizon {
+		return make([]units.Power, horizon)
+	}
+	dst = dst[:horizon]
+	clear(dst)
+	return dst
+}
+
 // Perfect is the error-free oracle the genre papers assume.
 type Perfect struct{}
 
@@ -35,8 +58,13 @@ type Perfect struct{}
 func (Perfect) Name() string { return "perfect" }
 
 // Predict implements Forecaster by reading the future directly.
-func (Perfect) Predict(actual solar.Provider, now, horizon int) []units.Power {
-	out := make([]units.Power, horizon)
+func (p Perfect) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	return p.PredictInto(nil, actual, now, horizon)
+}
+
+// PredictInto implements IntoPredictor.
+func (Perfect) PredictInto(dst []units.Power, actual solar.Provider, now, horizon int) []units.Power {
+	out := fill(dst, horizon)
 	for k := 0; k < horizon; k++ {
 		out[k] = actual.Power(now + k)
 	}
@@ -55,11 +83,16 @@ func (p Persistence) Name() string { return "persistence" }
 
 // Predict implements Forecaster.
 func (p Persistence) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	return p.PredictInto(nil, actual, now, horizon)
+}
+
+// PredictInto implements IntoPredictor.
+func (p Persistence) PredictInto(dst []units.Power, actual solar.Provider, now, horizon int) []units.Power {
 	period := p.Period
 	if period <= 0 {
 		period = 24
 	}
-	out := make([]units.Power, horizon)
+	out := fill(dst, horizon)
 	for k := 0; k < horizon; k++ {
 		s := now + k - period
 		// Walk back whole periods until we reach observed history.
@@ -94,11 +127,16 @@ func (m MovingAverage) days() int {
 
 // Predict implements Forecaster.
 func (m MovingAverage) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	return m.PredictInto(nil, actual, now, horizon)
+}
+
+// PredictInto implements IntoPredictor.
+func (m MovingAverage) PredictInto(dst []units.Power, actual solar.Provider, now, horizon int) []units.Power {
 	period := m.Period
 	if period <= 0 {
 		period = 24
 	}
-	out := make([]units.Power, horizon)
+	out := fill(dst, horizon)
 	for k := 0; k < horizon; k++ {
 		var sum units.Power
 		n := 0
@@ -138,12 +176,17 @@ func (e EWMA) alpha() float64 {
 
 // Predict implements Forecaster.
 func (e EWMA) Predict(actual solar.Provider, now, horizon int) []units.Power {
+	return e.PredictInto(nil, actual, now, horizon)
+}
+
+// PredictInto implements IntoPredictor.
+func (e EWMA) PredictInto(dst []units.Power, actual solar.Provider, now, horizon int) []units.Power {
 	period := e.Period
 	if period <= 0 {
 		period = 24
 	}
 	alpha := e.alpha()
-	out := make([]units.Power, horizon)
+	out := fill(dst, horizon)
 	for k := 0; k < horizon; k++ {
 		// Fold history oldest-first so the newest day dominates.
 		var est units.Power

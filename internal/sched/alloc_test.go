@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestPlacerSteadyStateAllocFree pins down the Placer's reuse contract: a
+// warmed Placer calling Place with a same-shaped item set — the simulator
+// does exactly this once per slot — must not allocate. Its scratch (order
+// and load slices, the duplicate-detection map) is reset in place.
+func TestPlacerSteadyStateAllocFree(t *testing.T) {
+	s := rng.New(7, "alloc-placer")
+	items := make([]PlaceItem, 50)
+	for i := range items {
+		pin := -1
+		if i%3 == 0 {
+			pin = i % 8
+		}
+		items[i] = PlaceItem{ID: i, CPU: s.Uniform(0.5, 2), RAM: s.Uniform(1, 4), Pinned: pin}
+	}
+	var p Placer
+	if err := p.Place(items, 8, 16, 48, 1.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := p.Place(items, 8, 16, 48, 1.5, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("warmed Place allocates %.0f times per call; want 0", avg)
+	}
+}

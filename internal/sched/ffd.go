@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -32,15 +34,158 @@ type Placement struct {
 	RAMByNode map[int]float64
 }
 
-// FFD packs items onto nodes with the First-Fit-Decreasing heuristic under
-// a resource over-commit factor: each of `nodes` nodes offers
+// Placer is the reusable First-Fit-Decreasing engine. A zero Placer is
+// ready to use; after the first Place call its scratch state (order, node
+// loads, duplicate-detection set) is reset rather than reallocated, so a
+// Placer calling Place once per slot allocates nothing in steady state.
+//
+// A Placer is single-goroutine state: each simulator owns its own. The
+// map-returning FFD/FFDAvoiding wrappers below remain for callers that
+// want a self-contained result.
+type Placer struct {
+	items  []PlaceItem
+	nodeOf []int // item index -> node, -1 when unplaced
+	order  []int // pinned item indices (by ID), then free (FFD order)
+	cpu    []float64
+	ram    []float64
+	seen   map[int]bool
+}
+
+// Place packs items onto nodes with the First-Fit-Decreasing heuristic
+// under a resource over-commit factor: each of `nodes` nodes offers
 // cpuCap*overcommit cores and ramCap*overcommit GB. Items are sorted by
 // descending CPU (RAM as tiebreak, then ID for determinism) and each takes
-// the first node with room. Pinned items are seated first.
+// the first node with room. Pinned items are seated first, in ID order.
+// disabled marks unusable nodes (failed or cordoned) by node id; no item
+// is placed there, and a pin to a disabled node reports the item unplaced
+// so the caller can re-route it. A nil or short mask reads as all-usable.
 //
 // FFD's classical guarantee FFD(L) <= 11/9*OPT(L) + 1 (Yue 1991) applies
 // per dimension; the 2-D variant used here inherits it as a heuristic, and
 // the test suite cross-checks small instances against brute force.
+//
+// The results stay valid until the next Place call. items is read-only and
+// not retained past the queries below.
+func (p *Placer) Place(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float64, disabled []bool) error {
+	if nodes <= 0 {
+		return fmt.Errorf("sched: FFD needs at least one node")
+	}
+	if cpuCap <= 0 || ramCap <= 0 {
+		return fmt.Errorf("sched: FFD needs positive capacities (cpu=%v ram=%v)", cpuCap, ramCap)
+	}
+	if overcommit < 1 {
+		return fmt.Errorf("sched: over-commit %v below 1", overcommit)
+	}
+	effCPU := cpuCap * overcommit
+	effRAM := ramCap * overcommit
+
+	p.items = items
+	p.nodeOf = resizeInts(p.nodeOf, len(items))
+	p.cpu = resizeFloats(p.cpu, nodes)
+	p.ram = resizeFloats(p.ram, nodes)
+	if p.seen == nil {
+		p.seen = make(map[int]bool, len(items))
+	} else {
+		clear(p.seen)
+	}
+	for i := range items {
+		p.nodeOf[i] = -1
+		it := &items[i]
+		if p.seen[it.ID] {
+			return fmt.Errorf("sched: duplicate item id %d", it.ID)
+		}
+		p.seen[it.ID] = true
+		if it.CPU < 0 || it.RAM < 0 {
+			return fmt.Errorf("sched: item %d has negative demand", it.ID)
+		}
+	}
+
+	off := func(node int) bool { return node < len(disabled) && disabled[node] }
+	fits := func(i, node int) bool {
+		return p.cpu[node]+items[i].CPU <= effCPU+1e-9 && p.ram[node]+items[i].RAM <= effRAM+1e-9
+	}
+	place := func(i, node int) {
+		p.nodeOf[i] = node
+		p.cpu[node] += items[i].CPU
+		p.ram[node] += items[i].RAM
+	}
+
+	// Seat pinned items first, in ID order for determinism.
+	p.order = p.order[:0]
+	for i := range items {
+		if items[i].Pinned >= 0 {
+			p.order = append(p.order, i)
+		}
+	}
+	nPinned := len(p.order)
+	for i := range items {
+		if items[i].Pinned < 0 {
+			p.order = append(p.order, i)
+		}
+	}
+	pinned, free := p.order[:nPinned], p.order[nPinned:]
+	slices.SortFunc(pinned, func(a, b int) int { return cmp.Compare(items[a].ID, items[b].ID) })
+	for _, i := range pinned {
+		it := items[i]
+		if it.Pinned >= nodes {
+			return fmt.Errorf("sched: item %d pinned to nonexistent node %d", it.ID, it.Pinned)
+		}
+		if !off(it.Pinned) && fits(i, it.Pinned) {
+			place(i, it.Pinned)
+		}
+	}
+
+	// First-Fit-Decreasing for the rest.
+	slices.SortFunc(free, func(ai, bi int) int {
+		a, b := items[ai], items[bi]
+		if c := cmp.Compare(b.CPU, a.CPU); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(b.RAM, a.RAM); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+	for _, i := range free {
+		for n := 0; n < nodes; n++ {
+			if off(n) {
+				continue
+			}
+			if fits(i, n) {
+				place(i, n)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the node items[i] was placed on, or -1 when it fit
+// nowhere (or its pin was disabled/over capacity).
+func (p *Placer) NodeOf(i int) int { return p.nodeOf[i] }
+
+// resizeInts returns s with length n, reusing its backing array when large
+// enough.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// resizeFloats returns s with length n and every element zeroed, reusing
+// its backing array when large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// FFD packs items onto nodes with First-Fit-Decreasing; see Placer.Place
+// for the algorithm and determinism guarantees.
 func FFD(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float64) (Placement, error) {
 	return FFDAvoiding(items, nodes, cpuCap, ramCap, overcommit, nil)
 }
@@ -49,100 +194,34 @@ func FFD(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float64) (Plac
 // no item is placed there, and a pin to an unusable node reports the item
 // unplaced so the caller can re-route it.
 func FFDAvoiding(items []PlaceItem, nodes int, cpuCap, ramCap, overcommit float64, disabled map[int]bool) (Placement, error) {
-	if nodes <= 0 {
-		return Placement{}, fmt.Errorf("sched: FFD needs at least one node")
+	var mask []bool
+	if len(disabled) > 0 {
+		mask = make([]bool, nodes)
+		for n, off := range disabled {
+			if off && n >= 0 && n < nodes {
+				mask[n] = true
+			}
+		}
 	}
-	if cpuCap <= 0 || ramCap <= 0 {
-		return Placement{}, fmt.Errorf("sched: FFD needs positive capacities (cpu=%v ram=%v)", cpuCap, ramCap)
+	var pl Placer
+	if err := pl.Place(items, nodes, cpuCap, ramCap, overcommit, mask); err != nil {
+		return Placement{}, err
 	}
-	if overcommit < 1 {
-		return Placement{}, fmt.Errorf("sched: over-commit %v below 1", overcommit)
-	}
-	effCPU := cpuCap * overcommit
-	effRAM := ramCap * overcommit
-
 	p := Placement{
 		NodeOf:    make(map[int]int, len(items)),
 		CPUByNode: make(map[int]float64),
 		RAMByNode: make(map[int]float64),
 	}
-	seen := make(map[int]bool, len(items))
-	for _, it := range items {
-		if seen[it.ID] {
-			return Placement{}, fmt.Errorf("sched: duplicate item id %d", it.ID)
-		}
-		seen[it.ID] = true
-		if it.CPU < 0 || it.RAM < 0 {
-			return Placement{}, fmt.Errorf("sched: item %d has negative demand", it.ID)
-		}
-	}
-
-	place := func(it PlaceItem, node int) {
-		p.NodeOf[it.ID] = node
-		p.CPUByNode[node] += it.CPU
-		p.RAMByNode[node] += it.RAM
-	}
-	fits := func(it PlaceItem, node int) bool {
-		return p.CPUByNode[node]+it.CPU <= effCPU+1e-9 && p.RAMByNode[node]+it.RAM <= effRAM+1e-9
-	}
-
-	// Seat pinned items first, in ID order for determinism.
-	var pinned, free []PlaceItem
-	for _, it := range items {
-		if it.Pinned >= 0 {
-			pinned = append(pinned, it)
-		} else {
-			free = append(free, it)
-		}
-	}
-	sort.Slice(pinned, func(i, j int) bool { return pinned[i].ID < pinned[j].ID })
-	for _, it := range pinned {
-		if it.Pinned >= nodes {
-			return Placement{}, fmt.Errorf("sched: item %d pinned to nonexistent node %d", it.ID, it.Pinned)
-		}
-		if !disabled[it.Pinned] && fits(it, it.Pinned) {
-			place(it, it.Pinned)
-		} else {
-			p.Unplaced = append(p.Unplaced, it.ID)
-		}
-	}
-
-	// First-Fit-Decreasing for the rest.
-	sort.Slice(free, func(i, j int) bool {
-		a, b := free[i], free[j]
-		if a.CPU > b.CPU {
-			return true
-		}
-		if a.CPU < b.CPU {
-			return false
-		}
-		if a.RAM > b.RAM {
-			return true
-		}
-		if a.RAM < b.RAM {
-			return false
-		}
-		return a.ID < b.ID
-	})
-	for _, it := range free {
-		placed := false
-		for n := 0; n < nodes; n++ {
-			if disabled[n] {
-				continue
-			}
-			if fits(it, n) {
-				place(it, n)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			p.Unplaced = append(p.Unplaced, it.ID)
-		}
-	}
-
 	used := make(map[int]bool)
-	for _, n := range p.NodeOf {
+	for i, it := range items {
+		n := pl.NodeOf(i)
+		if n < 0 {
+			p.Unplaced = append(p.Unplaced, it.ID)
+			continue
+		}
+		p.NodeOf[it.ID] = n
+		p.CPUByNode[n] += it.CPU
+		p.RAMByNode[n] += it.RAM
 		used[n] = true
 	}
 	p.NodesUsed = len(used)

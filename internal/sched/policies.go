@@ -230,6 +230,14 @@ func (g GreenMatch) reserve() int {
 // Plan implements Policy.
 func (g GreenMatch) Plan(v View) Decision {
 	d := Decision{Consolidate: true, SpinDownDisks: true}
+	// Nothing to start, nothing to suspend: skip the capacity derivation and
+	// matching entirely. This keeps the drained steady state of a run
+	// allocation-free (the capacity slice below is per-call) and is
+	// behavior-identical — with both sets empty every path out of the full
+	// plan returns this same decision with no starts and no suspensions.
+	if len(v.Waiting) == 0 && len(v.RunningDeferrable) == 0 {
+		return d
+	}
 	h := g.horizon()
 
 	// Per-slot headroom in job units over the horizon, bounded by both the

@@ -415,6 +415,39 @@ func (c *Cluster) SlotDraw(cpuUtil map[int]float64) units.Power {
 	return total
 }
 
+// SlotDrawUtil is SlotDraw with utilization indexed by node id instead of a
+// map, so per-slot callers can reuse one buffer. A short slice reads as zero
+// utilization for the missing tail.
+func (c *Cluster) SlotDrawUtil(cpuUtil []float64) units.Power {
+	var total units.Power
+	for _, n := range c.nodes {
+		if !n.Powered {
+			continue
+		}
+		u := 0.0
+		if n.ID < len(cpuUtil) {
+			u = cpuUtil[n.ID]
+		}
+		total += n.Server.Draw(u)
+		for _, d := range n.Disks {
+			total += d.SlotDraw()
+		}
+	}
+	return total
+}
+
+// PoweredNodeCount returns the number of powered-on nodes without
+// materializing the id list PoweredNodes builds.
+func (c *Cluster) PoweredNodeCount() int {
+	count := 0
+	for _, n := range c.nodes {
+		if n.Powered {
+			count++
+		}
+	}
+	return count
+}
+
 // ResetSlot clears per-slot disk activity across the cluster.
 func (c *Cluster) ResetSlot() {
 	for _, n := range c.nodes {

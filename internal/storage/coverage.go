@@ -114,6 +114,13 @@ func (c *Cluster) CoverOnNodes(nodes map[int]bool) ([]DiskID, bool) {
 	return c.greedyCover(func(n *Node) bool { return nodes[n.ID] })
 }
 
+// CoverOnNodeMask is CoverOnNodes with the node set given as a mask indexed
+// by node id, the representation the simulator's per-slot scratch state
+// uses. A short mask reads as false for the missing tail.
+func (c *Cluster) CoverOnNodeMask(nodes []bool) ([]DiskID, bool) {
+	return c.greedyCover(func(n *Node) bool { return n.ID < len(nodes) && nodes[n.ID] })
+}
+
 // PartialCoverOnNodes covers every object that still has a replica on an
 // allowed node and reports how many objects are uncoverable (all replicas
 // on disallowed — e.g. failed — nodes). Used by the failure-injection path,
@@ -195,6 +202,28 @@ func (c *Cluster) ApplyDiskPlan(keep map[DiskID]bool) units.Energy {
 		}
 		for _, d := range n.Disks {
 			if keep[d.ID] {
+				e += d.SpinUp()
+			} else {
+				e += d.SpinDown()
+			}
+		}
+	}
+	return e
+}
+
+// ApplyDiskPlanMask is ApplyDiskPlan with the keep set given as a mask over
+// flat disk indices (node*DisksPerNode + disk), the representation the
+// simulator's per-slot scratch state uses. The mask must span every disk.
+func (c *Cluster) ApplyDiskPlanMask(keep []bool) units.Energy {
+	perNode := c.cfg.NodeProfile.DisksPerNode
+	var e units.Energy
+	for _, n := range c.nodes {
+		if !n.Powered {
+			continue
+		}
+		base := n.ID * perNode
+		for _, d := range n.Disks {
+			if keep[base+d.ID.Disk] {
 				e += d.SpinUp()
 			} else {
 				e += d.SpinDown()
