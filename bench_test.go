@@ -223,6 +223,120 @@ func BenchmarkMatchGreedy100x24(b *testing.B) {
 	}
 }
 
+// --- incremental matching (match.Solver) micro-benchmarks ---
+
+// benchGrouped builds a grouped transportation instance shaped like the
+// ones GreenMatch.Plan emits: g job classes over 24 deadline slots, each
+// class restricted to slots up to its deadline (a prefix of non-forbidden
+// cells), greenness weights in [0, 1).
+func benchGrouped(g int, seed int64) (weights [][]float64, supply, capacity []int) {
+	const m = 24
+	s := rng.New(seed, "bench-match-plan")
+	weights = make([][]float64, g)
+	supply = make([]int, g)
+	for gi := range weights {
+		row := make([]float64, m)
+		latest := 4 + s.Intn(m-4)
+		for k := range row {
+			if k > latest {
+				row[k] = match.Forbidden
+			} else {
+				row[k] = s.Uniform(0, 1)
+			}
+		}
+		weights[gi] = row
+		supply[gi] = 1 + s.Intn(4)
+	}
+	capacity = make([]int, m)
+	for k := range capacity {
+		capacity[k] = 2*g/m + 2
+	}
+	return weights, supply, capacity
+}
+
+// BenchmarkMatchPlan measures the reusable match.Solver across its three
+// tiers at several job-class counts:
+//
+//   - cold: alternating instances with different forbidden patterns, so
+//     every solve rebuilds the graph (into reused memory);
+//   - repair: alternating weight values over one fixed topology, so every
+//     solve overwrites arcs in place and re-runs SSP;
+//   - memo: the same instance every time, answered from the cached result.
+//
+// All three are allocation-free once warm; the tier counters are asserted
+// so the benchmark fails loudly if a tier stops being exercised.
+func BenchmarkMatchPlan(b *testing.B) {
+	for _, g := range []int{8, 32, 96} {
+		wA, sA, cA := benchGrouped(g, 3)
+		wB, sB, cB := benchGrouped(g, 4) // different forbidden pattern: topology change
+		// Same topology as A, different weight values: arc-repair tier.
+		wR := make([][]float64, g)
+		for gi, row := range wA {
+			r := make([]float64, len(row))
+			for k, w := range row {
+				if match.IsForbidden(w) {
+					r[k] = w
+				} else {
+					r[k] = 1 - w/2
+				}
+			}
+			wR[gi] = r
+		}
+		tiers := []struct {
+			name string
+			run  func(sv *match.Solver, i int) error
+			pick func(st match.SolverStats) int
+		}{
+			{"cold", func(sv *match.Solver, i int) error {
+				var err error
+				if i%2 == 0 {
+					_, err = sv.SolveGrouped(wA, sA, cA)
+				} else {
+					_, err = sv.SolveGrouped(wB, sB, cB)
+				}
+				return err
+			}, func(st match.SolverStats) int { return st.ColdSolves }},
+			{"repair", func(sv *match.Solver, i int) error {
+				var err error
+				if i%2 == 0 {
+					_, err = sv.SolveGrouped(wA, sA, cA)
+				} else {
+					_, err = sv.SolveGrouped(wR, sA, cA)
+				}
+				return err
+			}, func(st match.SolverStats) int { return st.ArcRepairs }},
+			{"memo", func(sv *match.Solver, i int) error {
+				_, err := sv.SolveGrouped(wA, sA, cA)
+				return err
+			}, func(st match.SolverStats) int { return st.MemoHits }},
+		}
+		for _, tier := range tiers {
+			b.Run(fmt.Sprintf("g%d/%s", g, tier.name), func(b *testing.B) {
+				var sv match.Solver
+				for i := 0; i < 4; i++ { // warm both instances past the first allocation
+					if err := tier.run(&sv, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				before := tier.pick(sv.Stats())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := tier.run(&sv, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				hit := tier.pick(sv.Stats()) - before
+				if hit < b.N/2 {
+					b.Fatalf("tier %s took only %d of %d solves", tier.name, hit, b.N)
+				}
+				b.ReportMetric(float64(hit)/float64(b.N), "tier-hits/op")
+			})
+		}
+	}
+}
+
 // benchCfg builds the shared 20%-scale scenario the throughput benches
 // run. Built once per benchmark, outside the timed region: trace and solar
 // generation would otherwise dominate the measurement, and the Run
@@ -256,6 +370,71 @@ func BenchmarkSimulatorSlotThroughput(b *testing.B) {
 		slots += res.Slots
 	}
 	b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+}
+
+// sparseBenchCfg builds the event-driven fast path's home turf: an ~8000
+// slot horizon over the full-size reference cluster where short, tight-
+// deadline batch bursts arrive every 100 slots and run immediately, so the
+// cluster is quiescent in between. The solar series is generated for the
+// full horizon so supply stays non-degenerate throughout. Per-quiet-slot
+// cost of the full pipeline grows with cluster size (power planning, draw
+// summation, placement all scan nodes and disks) while the fast kernel's
+// does not, so this measures the fast path at the scale it targets.
+func sparseBenchCfg() Config {
+	const (
+		horizon = 40000
+		gap     = 200
+	)
+	cfg := DefaultConfig()
+	cl := cfg.Cluster
+	cl.Objects = 300 // full fleet, slim catalog: keeps one-time cluster construction from dominating the 40k-slot loop
+	cfg.Cluster = cl
+	var trace []workload.Job
+	id := 0
+	for submit := 0; submit+gap/2 < horizon; submit += gap {
+		for j := 0; j < 4; j++ {
+			d := 2 + j
+			trace = append(trace, workload.Job{
+				ID: id, Class: workload.Batch, Submit: submit,
+				Duration: d, Deadline: submit + d, CPU: 1, RAMGB: 2,
+			})
+			id++
+		}
+	}
+	cfg.Trace = trace
+	farm := solar.DefaultFarm(165.6)
+	farm.Slots = horizon
+	cfg.Green = solar.MustGenerate(farm)
+	cfg.ReadsPerSlot = 0.1 // cold archive: most slots see no reads at all
+	cfg.Policy = GreenMatch{}
+	return cfg
+}
+
+// BenchmarkSimulatorSlotThroughputSparse measures end-to-end slots per
+// second on the sparse-arrival scenario, with the event-driven slot
+// skipping on (the default) and forced off. The slots/s ratio between the
+// two sub-benchmarks is the fast path's speedup on its target shape.
+func BenchmarkSimulatorSlotThroughputSparse(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSkip bool
+	}{{"skip", false}, {"noskip", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := sparseBenchCfg()
+			cfg.DisableSlotSkipping = mode.noSkip
+			slots := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots += res.Slots
+			}
+			b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+		})
+	}
 }
 
 // BenchmarkSweepThroughput measures experiment-sweep throughput (full

@@ -10,6 +10,12 @@
 //	gmbench                                  # full suite, 5 runs, snapshot + delta
 //	gmbench -count 3 -bench 'Sweep|Simulator'
 //	gmbench -bench FFD -cpuprofile ffd.pprof -pkg .
+//	gmbench -gate-results                    # CI: result-metric drift fails the run
+//
+// Timing deltas are informational — shared runners are too noisy to gate
+// on — but the custom `result` metrics are correctness canaries (the
+// experiments' headline numbers), so -gate-results turns any drift in
+// them into a non-zero exit.
 //
 // The JSON snapshots are the repo's persisted perf baseline: commit them so
 // future PRs can quantify wins and regressions against a measured history
@@ -89,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile via go test -cpuprofile (requires a single package in -pkg)")
 		memprofile = fs.String("memprofile", "", "write a heap profile via go test -memprofile (requires a single package in -pkg)")
 		timeoutStr = fs.String("timeout", "30m", "go test -timeout for the whole bench run")
+		gate       = fs.Bool("gate-results", false, "exit non-zero on RESULT METRIC DRIFT vs the previous snapshot (timing deltas never gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -176,7 +183,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "WARNING: environment changed (%s/%s %q -> %s/%s %q); deltas are not comparable.\n\n",
 			prev.GOOS, prev.GOARCH, prev.CPU, snap.GOOS, snap.GOARCH, snap.CPU)
 	}
-	writeDelta(stdout, prev, &snap)
+	if writeDelta(stdout, prev, &snap) && *gate {
+		fmt.Fprintln(stderr, "gmbench: result metrics drifted and -gate-results is set")
+		return 3
+	}
 	return 0
 }
 
@@ -307,8 +317,10 @@ func latestSnapshot(dir string) (*Snapshot, string, error) {
 
 // writeDelta prints a benchstat-style comparison of two snapshots: median
 // ns/op, allocs/op and the custom `result` metric, with percentage deltas
-// (negative ns/op and allocs/op deltas are improvements).
-func writeDelta(w io.Writer, prev, cur *Snapshot) {
+// (negative ns/op and allocs/op deltas are improvements). It reports
+// whether any `result` metric drifted — timing is environment, results are
+// correctness, so only the latter is worth gating on.
+func writeDelta(w io.Writer, prev, cur *Snapshot) (drift bool) {
 	type row struct {
 		name     string
 		old, new *Bench
@@ -366,9 +378,10 @@ func writeDelta(w io.Writer, prev, cur *Snapshot) {
 	if len(drifted) > 0 {
 		fmt.Fprintf(w, "\nRESULT METRIC DRIFT (benchmark outcomes changed, not just their speed):\n%s\n",
 			strings.Join(drifted, "\n"))
-	} else {
-		fmt.Fprintf(w, "\nResult metrics: no drift.\n")
+		return true
 	}
+	fmt.Fprintf(w, "\nResult metrics: no drift.\n")
+	return false
 }
 
 // pct renders the relative change from old to new.

@@ -109,12 +109,23 @@ func TestLatestSnapshotAndDelta(t *testing.T) {
 		},
 	}
 	var b strings.Builder
-	writeDelta(&b, got, cur)
+	if !writeDelta(&b, got, cur) {
+		t.Error("writeDelta did not report the result-metric drift")
+	}
 	out := b.String()
 	for _, want := range []string{"-20.0%", "BenchmarkNew", "new", "BenchmarkGone", "gone", "RESULT METRIC DRIFT", "result 42 -> 43"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("delta table missing %q:\n%s", want, out)
 		}
+	}
+
+	// Same results, different timing: no drift, gating stays quiet.
+	same := &Snapshot{Benchmarks: []Bench{
+		{Pkg: "repro", Name: "BenchmarkSweepThroughput/j1", NsPerOp: 100e6, AllocsPerOp: 7, Metrics: map[string]float64{"result": 42}},
+	}}
+	b.Reset()
+	if writeDelta(&b, got, same) {
+		t.Errorf("timing-only delta reported drift:\n%s", b.String())
 	}
 }
 

@@ -2,8 +2,11 @@
 // seeded random fault schedules — crash storms, supply dropouts and
 // curtailment, battery fade and charger outages, forecast corruption —
 // against the simulator, each run with the energy-conservation auditor
-// attached and executed twice to prove byte-determinism of the full slot
-// trace. Any conservation violation, determinism mismatch or degraded-mode
+// attached and executed twice — once with the event-driven slot-skipping
+// fast path, once forcing the full per-slot pipeline — to prove
+// byte-determinism of the full slot trace AND bit-exactness of slot
+// skipping under every fault schedule (-noskip forces the full pipeline in
+// both runs). Any conservation violation, determinism mismatch or degraded-mode
 // accounting inconsistency makes the command exit non-zero, printing one
 // line per offending seed so the failure is reproducible from the seed
 // alone.
@@ -41,6 +44,7 @@ func main() {
 		slots    = flag.Int("slots", 200, "fault-schedule horizon in slots")
 		jobs     = flag.Int("j", 0, "parallel workers (0 = one per core)")
 		scenFile = flag.String("scenario", "", "base the runs on this scenario JSON instead of the built-in small scenario")
+		noSkip   = flag.Bool("noskip", false, "disable the simulator's event-driven slot skipping in both runs (plain determinism check instead of skip-equivalence)")
 		verbose  = flag.Bool("v", false, "print one line per seed")
 	)
 	flag.Parse()
@@ -64,7 +68,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for seed := range seeds {
-				res, err := chaosSeed(seed, *scenFile, *scale, *slots)
+				res, err := chaosSeed(seed, *scenFile, *scale, *slots, *noSkip)
 				o := outcome{seed: seed, err: err}
 				if res != nil {
 					o.faults = res.Degrade.DegradedSlots
@@ -107,8 +111,12 @@ func main() {
 }
 
 // chaosSeed executes one seed twice — audited, traced — and returns the
-// first run's result, or an error describing the violation.
-func chaosSeed(seed int64, scenFile string, scale float64, slots int) (*core.Result, error) {
+// first run's result, or an error describing the violation. The first run
+// uses the simulator's event-driven slot skipping, the second forces the
+// full per-slot pipeline, so every seed doubles as a skip-equivalence
+// proof over a random fault schedule; with noSkip both runs take the full
+// pipeline and the comparison degrades to a plain determinism check.
+func chaosSeed(seed int64, scenFile string, scale float64, slots int, noSkip bool) (*core.Result, error) {
 	cfg, err := baseConfig(seed, scenFile, scale)
 	if err != nil {
 		return nil, err
@@ -120,20 +128,22 @@ func chaosSeed(seed int64, scenFile string, scale float64, slots int) (*core.Res
 			AllowMTBF: true,
 		})
 	}
+	cfg.DisableSlotSkipping = noSkip
 
 	res1, sum1, err := auditedRun(cfg)
 	if err != nil {
 		return nil, err
 	}
+	cfg.DisableSlotSkipping = true
 	res2, sum2, err := auditedRun(cfg)
 	if err != nil {
 		return res1, err
 	}
 	if sum1 != sum2 {
-		return res1, fmt.Errorf("slot traces differ between identical runs (%x vs %x)", sum1[:6], sum2[:6])
+		return res1, fmt.Errorf("slot traces differ between skip and full-pipeline runs (%x vs %x)", sum1[:6], sum2[:6])
 	}
 	if res1.Slots != res2.Slots || res1.Energy != res2.Energy || res1.SLA != res2.SLA {
-		return res1, fmt.Errorf("results differ between identical runs")
+		return res1, fmt.Errorf("results differ between skip and full-pipeline runs")
 	}
 	fired := cfg.Faults.ActiveWithin(res1.Slots) || res1.SLA.NodeFailures > 0
 	if fired != (res1.Degrade.DegradedSlots > 0) {

@@ -67,9 +67,11 @@ func TestSlotStepDrainedAllocFree(t *testing.T) {
 
 // TestSlotStepBusyMandatoryAllocFree asserts the busy mandatory-only path
 // — long-running web jobs pinned in place, per-slot placement, full power
-// plan, I/O service — allocates nothing per slot either. (With deferrable
-// jobs in flight the GreenMatch matching solver allocates by design; see
-// docs/PROFILING.md for the scope of the zero-alloc contract.)
+// plan, I/O service — allocates nothing per slot either. (The deferrable
+// matching path is covered separately by TestSlotStepBusyDeferredAllocFree
+// in fastpath_test.go: GreenMatch.Plan runs through the reusable
+// sched.PlanScratch/match.Solver and is allocation-free once warm too; see
+// docs/PROFILING.md.)
 func TestSlotStepBusyMandatoryAllocFree(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Policy = sched.Baseline{}

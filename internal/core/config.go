@@ -108,6 +108,16 @@ type Config struct {
 	// this is how the conservation auditor turns a bookkeeping bug into a
 	// hard run failure.
 	Observer audit.Observer
+	// DisableSlotSkipping forces the full per-slot pipeline on every slot,
+	// disabling the event-driven fast path the simulator otherwise uses on
+	// quiescent slots (empty queues, settled placement, no structural fault
+	// change). Skipping is bit-exact by construction — both paths share the
+	// same settlement code and RNG draw discipline — so this switch exists
+	// for verification (the SkipEquivalence suite, the -noskip escape hatch
+	// in gmexp/gmchaos) and benchmarking, not correctness. Skipping is also
+	// automatically disabled when the policy does not implement
+	// sched.QuiescentPlanner or when ModelUtilization is on.
+	DisableSlotSkipping bool
 	// ModelUtilization enables the VM utilization model: jobs draw CPU at
 	// their per-slot UtilAt factor instead of their full reservation.
 	// Placement still provisions by reservation/over-commit (the genre's

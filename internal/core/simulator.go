@@ -72,6 +72,12 @@ type Result struct {
 	// Degrade is the fault-injection degradation account (all zero when no
 	// fault is configured).
 	Degrade metrics.DegradeAccount
+	// FastSlots counts the slots executed by the event-driven fast path
+	// (quiescent slots that skipped planning, placement and the power plan).
+	// Purely diagnostic: a fast slot settles to bit-identical state, so this
+	// is the only Result field that may differ between a run with skipping
+	// and one with Config.DisableSlotSkipping set.
+	FastSlots int
 	// Series is the per-slot trace (nil unless Config.RecordSeries).
 	Series *metrics.TimeSeries
 }
@@ -157,6 +163,42 @@ type Simulator struct {
 	inEpisode       bool
 	backlogBaseline int
 	prevBacklog     int
+
+	// planScratch is the reusable planning memory threaded into every
+	// policy View (View.Scratch): solver graphs, grouping arenas, start
+	// lists. Per-Simulator, so concurrent Runs never share it.
+	planScratch *sched.PlanScratch
+
+	// Event-driven slot skipping (see canFastForward/fastRest). skipEnabled
+	// is latched in New: the policy must guarantee a constant quiescent
+	// decision (sched.QuiescentPlanner), utilization modeling must be off,
+	// and Config.DisableSlotSkipping must be unset. quiescentDec is that
+	// constant decision, used for trace emission on skipped slots.
+	skipEnabled  bool
+	quiescentDec sched.Decision
+	// placementSettled means the last slot changed nothing structural: no
+	// promotions, suspensions, start attempts, migrations, completions or
+	// fault transitions — so replanning this slot would reproduce the
+	// placement and power plan verbatim.
+	placementSettled bool
+	// diskPlanDirty means disk spin states deviate from keepMask (a cold
+	// read or I/O wake spun something up); the fast path reapplies the
+	// cached mask exactly where applyPowerPlan would.
+	diskPlanDirty bool
+	// drawValid/spunValid guard cached quiet-slot aggregates: the cluster
+	// power draw with no busy disks, the spinning-disk and powered-node
+	// counts. Invalidated by any full step, wake, or mask reapplication.
+	drawValid    bool
+	spunValid    bool
+	cachedDrawW  units.Power
+	cachedSpun   int
+	cachedPowNds int
+	// fastHorizon is the first upcoming slot with a scheduled discrete
+	// event (arrival on the event heap, scheduled crash/storm, repair due);
+	// slots strictly before it may take the fast path. Recomputed lazily
+	// whenever a full step invalidates it.
+	fastHorizon int
+	fastSlots   int
 }
 
 // New validates the config (after applying defaults) and builds a simulator.
@@ -238,6 +280,17 @@ func New(cfg Config) (*Simulator, error) {
 	if s.faults = fault.NewEngine(cfg.Faults, cfg.Seed, cfg.SlotHours); s.faults != nil {
 		s.repairAt = make(map[int]int)
 	}
+	s.planScratch = &sched.PlanScratch{}
+	// Latch the slot-skipping eligibility. The QuiescentPlanner contract —
+	// Plan returns exactly QuiescentDecision on any view with empty Waiting
+	// and RunningDeferrable sets — is what lets the fast path skip the
+	// policy call entirely; utilization modeling couples power draw to
+	// per-slot job phase, which the fast path does not model.
+	if qp, ok := cfg.Policy.(sched.QuiescentPlanner); ok &&
+		!cfg.DisableSlotSkipping && !cfg.ModelUtilization {
+		s.skipEnabled = true
+		s.quiescentDec = qp.QuiescentDecision()
+	}
 	return s, nil
 }
 
@@ -260,7 +313,15 @@ func (s *Simulator) Run() (*Result, error) {
 	for t := 0; t <= maxSlot; t++ {
 		// Drain arrivals up to and including this slot boundary.
 		s.engine.Run(float64(t) * s.cfg.SlotHours)
-		s.step(t)
+		// Quiescent slots take the event-driven fast path: per-slot work
+		// (reads, fault draws, energy settlement, SLA clocks, trace
+		// emission) still runs bit-identically, but planning, placement and
+		// the power plan — provably no-ops on a settled slot — are skipped.
+		if s.canFastForward(t, maxSlot) {
+			s.fastStep(t)
+		} else {
+			s.step(t)
+		}
 		slots = t + 1
 		if t >= s.lastArrival && len(s.waiting) == 0 && len(s.mandQueue) == 0 && len(s.running) == 0 {
 			break
@@ -296,6 +357,7 @@ func (s *Simulator) Run() (*Result, error) {
 		DiskSpunHours:     s.diskHours,
 		ReadLatencyMs:     s.reads.Latencies.Summarize(),
 		Degrade:           s.degrade,
+		FastSlots:         s.fastSlots,
 		Series:            s.series,
 	}
 	if err := s.checkConservation(res); err != nil {
@@ -362,8 +424,11 @@ func (s *Simulator) admit(j workload.Job) {
 }
 
 // stepFailures processes repairs and injects the fault engine's node
-// crashes at slot t.
-func (s *Simulator) stepFailures(t int) {
+// crashes at slot t. It reports whether the fleet changed structurally
+// (any repair or crash applied) — the signal that forces the slot through
+// the full pipeline even when it would otherwise fast-forward.
+func (s *Simulator) stepFailures(t int) bool {
+	changed := false
 	// Repaired nodes return to service (powered off; the power plan may
 	// boot them when needed).
 	for id, due := range s.repairAt {
@@ -371,6 +436,7 @@ func (s *Simulator) stepFailures(t int) {
 			s.cluster.RepairNode(id)
 			s.failedMask[id] = false
 			delete(s.repairAt, id)
+			changed = true
 		}
 	}
 	// The engine draws its MTBF Bernoullis over the healthy powered nodes
@@ -388,7 +454,23 @@ func (s *Simulator) stepFailures(t int) {
 			continue // an explicit event named a node already down
 		}
 		s.crashNode(t, c.Node, c.RepairSlots)
+		changed = true
 	}
+	return changed
+}
+
+// faultPhase runs the per-slot fault work both step paths share: repairs,
+// crashes, battery capacity fade. The MTBF Bernoullis and the fade factor
+// are drawn/evaluated every simulated slot regardless of path, keeping the
+// fault randomness stream and battery state byte-identical with and without
+// slot skipping. Returns whether the fleet changed structurally.
+func (s *Simulator) faultPhase(t int) bool {
+	if s.faults == nil {
+		return false
+	}
+	changed := s.stepFailures(t)
+	s.bat.Derate(s.faults.FadeFactor(t))
+	return changed
 }
 
 // crashNode fails one node: evicts its jobs, schedules its repair, and
@@ -453,16 +535,19 @@ func (s *Simulator) failedNodes() []bool {
 // that a run without an observer pays nothing but that comparison.
 // gmlint's observerhot analyzer enforces this.
 func (s *Simulator) step(t int) {
-	h := s.cfg.SlotHours
-	var overhead units.Energy
-
 	// 0. Fault injection: repairs and crashes (evictions, repair-job
 	// synthesis), then battery capacity fade — before the policy plans, so
 	// its view reflects the faded battery and the surviving fleet.
-	if s.faults != nil {
-		s.stepFailures(t)
-		s.bat.Derate(s.faults.FadeFactor(t))
-	}
+	changed := s.faultPhase(t)
+	s.stepRest(t, changed)
+}
+
+// stepRest is the full per-slot pipeline after the fault phase: promotion,
+// planning, suspension, placement, power plan, reads, settlement, progress.
+// faultChanged feeds the settledness latch the fast path consults.
+func (s *Simulator) stepRest(t int, faultChanged bool) {
+	h := s.cfg.SlotHours
+	var overhead units.Energy
 
 	// 1. Promote slack-exhausted deferrable jobs to mandatory.
 	promoted := 0
@@ -541,6 +626,7 @@ func (s *Simulator) step(t int) {
 	// energy it forms the VM-management overhead, accounted separately
 	// from transition overhead but part of the slot's load).
 	runningBefore := len(s.running)
+	migsBefore := s.sla.Migrations
 	migE := s.place(t, toStart, dec.Consolidate) + mgmtE
 	started := len(s.running) - runningBefore
 
@@ -554,7 +640,8 @@ func (s *Simulator) step(t int) {
 	s.sla.UnservedReads += rr.Unserviceable
 
 	// 8. I/O-bound jobs keep disks on their node busy.
-	overhead += s.markIOBusy()
+	ioE := s.markIOBusy()
+	overhead += ioE
 
 	// 8b. Under the utilization model, resolve physical overloads that
 	// over-commit provoked (forced migrations, throttling as last resort).
@@ -570,6 +657,62 @@ func (s *Simulator) step(t int) {
 		cpuUtil = s.cpuUtilByNode()
 	}
 	demandP := s.cluster.SlotDrawUtil(cpuUtil)
+	fl := s.settleSlot(t, demandP, overhead, migE)
+
+	// 10. Progress and completions.
+	jobsRunning := len(s.running)
+	completions := s.advanceJobs(t)
+
+	// 11. Degradation accounting, node/disk-hour integration, series
+	// sample and slot reset.
+	if s.faults != nil {
+		s.trackDegradation(t)
+	}
+	spun := 0
+	for _, n := range s.cluster.Nodes() {
+		if !n.Powered {
+			continue
+		}
+		for _, d := range n.Disks {
+			if d.SpunUp() {
+				spun++
+			}
+		}
+	}
+	s.nodeHours += float64(s.cluster.PoweredNodeCount()) * h
+	s.diskHours += float64(spun) * h
+	if s.series != nil {
+		s.addSeries(t, fl, spun, jobsRunning)
+	}
+	if s.obs != nil {
+		s.emitTrace(t, h, fl, dec, promoted, started, jobsRunning, spun)
+	}
+	s.cluster.ResetSlot()
+
+	// 12. Latch the fast-path state. The slot settled iff nothing moved:
+	// replanning an identical slot would reproduce the same (constant)
+	// quiescent decision, the same FFD packing and the same power plan, so
+	// the fast path may skip all three. Wakes leave disk spin states
+	// deviating from keepMask; the caches are always stale after a full
+	// step.
+	s.placementSettled = !faultChanged && promoted == 0 &&
+		len(dec.SuspendRunning) == 0 && len(s.toStart) == 0 &&
+		s.sla.Migrations == migsBefore && completions == 0
+	s.diskPlanDirty = rr.ColdReads > 0 || ioE > 0
+	s.drawValid = false
+	s.spunValid = false
+	s.fastHorizon = t // stale: recompute before the next fast streak
+}
+
+// settleSlot performs the slot's energy settlement — demand, overheads,
+// green supply (through any supply fault), battery discharge/charge with
+// blocked-window gates, losses, self-discharge — and feeds the next slot's
+// mandatory-power estimate. It is the single settlement implementation
+// shared by the full and fast paths: every accumulation happens here in one
+// fixed order, which is what makes slot skipping bit-exact (batching slots
+// algebraically would change float summation order).
+func (s *Simulator) settleSlot(t int, demandP units.Power, overhead, migE units.Energy) slotFlows {
+	h := s.cfg.SlotHours
 	demandE := demandP.Over(h)
 	s.acct.Demand += demandE
 	s.acct.TransitionOverhead += overhead
@@ -617,9 +760,18 @@ func (s *Simulator) step(t int) {
 			s.lastRunDeferrable++
 		}
 	}
+	return slotFlows{
+		demand: demandE, overhead: overhead, mig: migE, load: load,
+		greenAvail: greenAvail, greenDirect: greenDirect, batOut: batOut,
+		brown: brown, surplus: surplus, accepted: accepted,
+		supplyFault: supplyFault,
+	}
+}
 
-	// 10. Progress and completions.
-	jobsRunning := len(s.running)
+// advanceJobs decrements remaining work on every running job and retires
+// completions, returning how many completed. Shared by both step paths.
+func (s *Simulator) advanceJobs(t int) int {
+	completions := 0
 	keptRunning := s.running[:0]
 	for _, st := range s.running {
 		st.remaining--
@@ -627,6 +779,7 @@ func (s *Simulator) step(t int) {
 			st.completedAt = t + 1
 			st.running = false
 			s.sla.Completed++
+			completions++
 			if st.completedAt > st.job.Deadline {
 				s.sla.DeadlineMisses++
 			}
@@ -635,51 +788,212 @@ func (s *Simulator) step(t int) {
 		}
 	}
 	s.running = keptRunning
+	return completions
+}
 
-	// 11. Degradation accounting, node/disk-hour integration, series
-	// sample and slot reset.
-	if s.faults != nil {
-		s.trackDegradation(t)
+// addSeries records the slot's time-series sample. Only called when
+// Config.RecordSeries is on.
+func (s *Simulator) addSeries(t int, fl slotFlows, spun, jobsRunning int) {
+	h := s.cfg.SlotHours
+	s.series.Add(metrics.SlotSample{
+		Slot:        t,
+		DemandW:     fl.load.Rate(h).Watts(),
+		GreenW:      fl.greenAvail.Rate(h).Watts(),
+		GreenUsedW:  fl.greenDirect.Rate(h).Watts(),
+		BatteryOutW: fl.batOut.Rate(h).Watts(),
+		BatteryInW:  fl.accepted.Rate(h).Watts(),
+		BrownW:      fl.brown.Rate(h).Watts(),
+		GreenLostW:  (fl.surplus - fl.accepted).Rate(h).Watts(),
+		BatterySoC:  s.bat.SoC(),
+		NodesOn:     s.cluster.PoweredNodeCount(),
+		DisksSpun:   spun,
+		JobsRunning: jobsRunning,
+		JobsWaiting: len(s.waiting) + len(s.mandQueue),
+	})
+}
+
+// canFastForward reports whether slot t may take the event-driven fast
+// path. The conditions jointly guarantee the full pipeline would be a
+// structural no-op this slot:
+//
+//   - skipEnabled: the policy's quiescent decision is a known constant and
+//     utilization modeling is off;
+//   - empty queues and no running deferrable jobs: promotion cannot fire,
+//     the policy view's Waiting/RunningDeferrable sets are empty, so Plan
+//     would return exactly quiescentDec (the QuiescentPlanner contract);
+//   - placementSettled: the previous slot moved nothing, so replanning
+//     reproduces the current FFD packing (its input — the running set in
+//     order, the failed mask — is unchanged and it is deterministic) and
+//     the power plan reproduces the current masks;
+//   - t is before the next discrete event (arrival heap, scheduled
+//     crash/storm, repair due), read off the event structures themselves.
+//
+// Everything the fast path cannot prove quiet it still executes per slot
+// (fault draws, reads, settlement), and the fault phase bails back to the
+// full pipeline on any structural change, so the horizon is a second line
+// of defense rather than load-bearing for correctness.
+func (s *Simulator) canFastForward(t, maxSlot int) bool {
+	if !s.skipEnabled || !s.placementSettled {
+		return false
 	}
-	spun := 0
-	for _, n := range s.cluster.Nodes() {
-		if !n.Powered {
-			continue
+	if len(s.waiting) > 0 || len(s.mandQueue) > 0 || s.lastRunDeferrable > 0 {
+		return false
+	}
+	if t >= s.fastHorizon {
+		s.fastHorizon = s.fastForwardHorizon(t, maxSlot)
+	}
+	return t < s.fastHorizon
+}
+
+// fastForwardHorizon computes the first slot after t at which a scheduled
+// discrete event demands the full pipeline: the earliest pending event on
+// the simevent heap (arrivals), the earliest scheduled crash/storm in the
+// fault schedule, the earliest due repair. Window faults (supply derates,
+// battery blocks, forecast corruption) and the MTBF process never bound the
+// horizon — both are evaluated per-slot identically on the fast path.
+func (s *Simulator) fastForwardHorizon(t, maxSlot int) int {
+	horizon := maxSlot + 1
+	if ev := s.engine.Peek(); ev != nil {
+		// First slot whose boundary drain executes the event: Run(u*h)
+		// fires everything with Time <= u*h.
+		slot := int(math.Ceil(ev.Time/s.cfg.SlotHours - 1e-9))
+		if slot < horizon {
+			horizon = slot
 		}
-		for _, d := range n.Disks {
-			if d.SpunUp() {
-				spun++
+	}
+	if s.faults != nil {
+		if next, ok := s.faults.NextCrashEventAfter(t); ok && next < horizon {
+			horizon = next
+		}
+		for _, due := range s.repairAt {
+			if due < horizon {
+				horizon = due
 			}
 		}
 	}
-	s.nodeHours += float64(s.cluster.PoweredNodeCount()) * h
-	s.diskHours += float64(spun) * h
+	return horizon
+}
+
+// fastStep executes one quiescent slot. The fault phase still runs in full
+// (repairs, MTBF draws, fade) so the randomness stream stays aligned; if it
+// changes the fleet, the slot falls back to the complete pipeline.
+func (s *Simulator) fastStep(t int) {
+	if s.faultPhase(t) {
+		s.stepRest(t, true)
+		return
+	}
+	s.fastRest(t)
+	s.fastSlots++
+}
+
+// fastRest is the reduced per-slot kernel (//gm:hotpath) for a quiescent
+// slot: no promotion, no policy call, no placement, no power plan — those
+// are provably no-ops under canFastForward's conditions. What remains is
+// exactly the state the full pipeline would touch: disk-plan repair after a
+// wake, the read process (whose rng draws must advance every slot), I/O
+// busy marking, energy settlement via the shared settleSlot, job progress,
+// degradation tracking, the hour integrals, and per-slot series/trace
+// emission. Quiet-slot aggregates (cluster draw, spinning-disk and
+// powered-node counts) are cached between structural changes.
+func (s *Simulator) fastRest(t int) {
+	h := s.cfg.SlotHours
+	var overhead units.Energy
+
+	// Disk-plan repair: a cold read (or I/O wake) left spin states deviating
+	// from the cached keep mask. Reapplying the mask is exactly what
+	// applyPowerPlan would do — node power states and every mask input are
+	// unchanged since the mask was computed, so the full path would park the
+	// same disks and charge the same transition energy.
+	if s.diskPlanDirty {
+		overhead += s.cluster.ApplyDiskPlanMask(s.keepMask)
+		s.diskPlanDirty = false
+		s.drawValid = false
+		s.spunValid = false
+	}
+
+	// Read traffic, every slot: the Poisson/Zipf streams must advance
+	// exactly as on the full path.
+	rr := s.reads.Step(s.cluster)
+	overhead += rr.WakeEnergy
+	s.sla.ColdReads += rr.ColdReads
+	s.sla.UnservedReads += rr.Unserviceable
+
+	ioE := s.markIOBusy()
+	overhead += ioE
+
+	ioBusy := false
+	for _, st := range s.running {
+		if st.job.IOBound {
+			ioBusy = true
+			break
+		}
+	}
+	busy := rr.Reads > 0 || ioBusy
+	if rr.ColdReads > 0 || ioE > 0 {
+		// Disks woke: the plan needs reapplying next slot and the cached
+		// quiet aggregates no longer describe the cluster.
+		s.diskPlanDirty = true
+		s.drawValid = false
+		s.spunValid = false
+	}
+
+	var demandP units.Power
+	if busy || !s.drawValid {
+		demandP = s.cluster.SlotDrawUtil(s.cpuUtilByNode())
+		if !busy {
+			// No disk served I/O this slot, so this is the repeatable
+			// quiet-slot draw.
+			s.cachedDrawW = demandP
+			s.drawValid = true
+		}
+	} else {
+		demandP = s.cachedDrawW
+	}
+
+	fl := s.settleSlot(t, demandP, overhead, 0)
+
+	jobsRunning := len(s.running)
+	if s.advanceJobs(t) > 0 {
+		// The running set shrank: placement, draw and the policy view all
+		// change, so the next slot re-enters the full pipeline.
+		s.placementSettled = false
+		s.drawValid = false
+	}
+
+	if s.faults != nil {
+		s.trackDegradation(t)
+	}
+	if !s.spunValid {
+		spun, powered := 0, 0
+		for _, n := range s.cluster.Nodes() {
+			if !n.Powered {
+				continue
+			}
+			powered++
+			for _, d := range n.Disks {
+				if d.SpunUp() {
+					spun++
+				}
+			}
+		}
+		s.cachedSpun, s.cachedPowNds = spun, powered
+		s.spunValid = true
+	}
+	s.nodeHours += float64(s.cachedPowNds) * h
+	s.diskHours += float64(s.cachedSpun) * h
 	if s.series != nil {
-		s.series.Add(metrics.SlotSample{
-			Slot:        t,
-			DemandW:     load.Rate(h).Watts(),
-			GreenW:      greenAvail.Rate(h).Watts(),
-			GreenUsedW:  greenDirect.Rate(h).Watts(),
-			BatteryOutW: batOut.Rate(h).Watts(),
-			BatteryInW:  accepted.Rate(h).Watts(),
-			BrownW:      brown.Rate(h).Watts(),
-			GreenLostW:  (surplus - accepted).Rate(h).Watts(),
-			BatterySoC:  s.bat.SoC(),
-			NodesOn:     s.cluster.PoweredNodeCount(),
-			DisksSpun:   spun,
-			JobsRunning: jobsRunning,
-			JobsWaiting: len(s.waiting) + len(s.mandQueue),
-		})
+		s.addSeries(t, fl, s.cachedSpun, jobsRunning)
 	}
 	if s.obs != nil {
-		s.emitTrace(t, h, slotFlows{
-			demand: demandE, overhead: overhead, mig: migE, load: load,
-			greenAvail: greenAvail, greenDirect: greenDirect, batOut: batOut,
-			brown: brown, surplus: surplus, accepted: accepted,
-			supplyFault: supplyFault,
-		}, dec, promoted, started, jobsRunning, spun)
+		s.emitTrace(t, h, fl, s.quiescentDec, 0, 0, jobsRunning, s.cachedSpun)
 	}
-	s.cluster.ResetSlot()
+	if busy {
+		// ResetSlot settles busy disks back to their steady state. On a
+		// slot with no disk activity it is a whole-cluster no-op (only the
+		// unobservable Active/Idle distinction could differ; draw and
+		// coverage read SpunUp and the busy flag), so it is skipped.
+		s.cluster.ResetSlot()
+	}
 }
 
 // degradedNow reports whether slot t counts as degraded: crashed nodes
@@ -872,6 +1186,7 @@ func (s *Simulator) buildView(t int) sched.View {
 		TotalCPUCapacity:   float64(s.cfg.Cluster.Nodes-failed) * s.cfg.Cluster.CPUPerNode * s.cfg.Overcommit,
 		Degraded:           failed > 0,
 		FailedNodes:        failed,
+		Scratch:            s.planScratch,
 	}
 	for _, st := range s.running {
 		if st.mandatory {

@@ -70,13 +70,22 @@ func (e *Engine) Config() Config { return e.cfg }
 // failed (an explicit event may name a node the MTBF process took down).
 func (e *Engine) Crashes(t int, healthyPowered []int) []Crash {
 	var out []Crash
-	chosen := map[int]bool{}
+	// Lazily allocated: most slots crash nothing, and the per-slot fault
+	// phase is on the simulator's fast-forward hot path. Reads from the nil
+	// map are fine; mark allocates on the first actual crash.
+	var chosen map[int]bool
+	mark := func(n int) {
+		if chosen == nil {
+			chosen = make(map[int]bool)
+		}
+		chosen[n] = true
+	}
 	if e.mtbf != nil {
 		pFail := e.slotHours / e.cfg.CrashMTBFHours
 		for _, n := range healthyPowered {
 			if e.mtbf.Bernoulli(pFail) {
 				out = append(out, Crash{Node: n, RepairSlots: e.cfg.CrashRepairSlots})
-				chosen[n] = true
+				mark(n)
 			}
 		}
 	}
@@ -89,7 +98,7 @@ func (e *Engine) Crashes(t int, healthyPowered []int) []Crash {
 			for _, n := range ev.Nodes {
 				if !chosen[n] {
 					out = append(out, Crash{Node: n, RepairSlots: ev.duration()})
-					chosen[n] = true
+					mark(n)
 				}
 			}
 		case KindCrashStorm:
@@ -107,12 +116,33 @@ func (e *Engine) Crashes(t int, healthyPowered []int) []Crash {
 				perm := e.storm.Perm(len(candidates))
 				for _, i := range perm[:count] {
 					out = append(out, Crash{Node: candidates[i], RepairSlots: ev.duration()})
-					chosen[candidates[i]] = true
+					mark(candidates[i])
 				}
 			}
 		}
 	}
 	return out
+}
+
+// NextCrashEventAfter returns the slot of the earliest scheduled structural
+// fault event — a node-crash or crash-storm — strictly after slot t, and
+// whether one exists. This is the fault-schedule lookahead the simulator's
+// slot skipping uses: only structural events bound a fast-forward streak.
+// Window events (supply derates, battery faults, forecast corruption) are
+// evaluated per-slot identically by the full and fast-forward paths, and
+// the random MTBF process is drawn per-slot by the fault phase itself, so
+// neither limits how far the simulator may skip ahead.
+func (e *Engine) NextCrashEventAfter(t int) (int, bool) {
+	next, ok := 0, false
+	for _, ev := range e.cfg.Events {
+		if ev.Kind != KindNodeCrash && ev.Kind != KindCrashStorm {
+			continue
+		}
+		if ev.At > t && (!ok || ev.At < next) {
+			next, ok = ev.At, true
+		}
+	}
+	return next, ok
 }
 
 // Supply returns the renewable power that actually reaches the facility at

@@ -1,7 +1,6 @@
 package match
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -17,14 +16,41 @@ type flowEdge struct {
 // flowGraph is a min-cost max-flow network solved by successive shortest
 // paths with Johnson potentials (Dijkstra on reduced costs). All edge costs
 // must be non-negative, which the assignment reduction guarantees.
+//
+// The graph is reusable: reset re-dimensions it in place, and the Dijkstra
+// scratch (potential/dist/prevEdge/heap) persists across solves so repeat
+// callers — the incremental Solver and the simulator's per-slot planning —
+// stay allocation-free once warm.
 type flowGraph struct {
 	n     int
 	edges []flowEdge
 	adj   [][]int // node -> indices into edges
+
+	// Dijkstra scratch, sized lazily by minCostMaxFlow.
+	potential []float64
+	dist      []float64
+	prevEdge  []int
+	heap      pq
 }
 
 func newFlowGraph(n int) *flowGraph {
-	return &flowGraph{n: n, adj: make([][]int, n)}
+	g := &flowGraph{}
+	g.reset(n)
+	return g
+}
+
+// reset clears the graph to n nodes and zero edges, retaining all backing
+// arrays (including per-node adjacency lists) for reuse.
+func (g *flowGraph) reset(n int) {
+	g.n = n
+	g.edges = g.edges[:0]
+	if cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
 }
 
 // addEdge inserts a forward edge and its residual twin, returning the
@@ -42,20 +68,73 @@ type pqItem struct {
 	node int
 	dist float64
 }
+
+// pq is a binary min-heap on dist. The sift logic mirrors container/heap's
+// up/down exactly — same comparisons, same swap order — so extraction order
+// (and with it Dijkstra's tie-breaking, the augmenting paths, and the
+// byte-determinism contract) is unchanged from the container/heap version;
+// inlining just removes the per-Push interface boxing allocation.
 type pq []pqItem
 
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+func (p *pq) push(it pqItem) {
+	*p = append(*p, it)
+	p.up(len(*p) - 1)
+}
+
+func (p *pq) pop() pqItem {
+	h := *p
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	h.down(0, n)
+	it := h[n]
+	*p = h[:n]
+	return it
+}
+
+func (p pq) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(p[j].dist < p[i].dist) {
+			break
+		}
+		p[i], p[j] = p[j], p[i]
+		j = i
+	}
+}
+
+func (p pq) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && p[j2].dist < p[j1].dist {
+			j = j2 // right child
+		}
+		if !(p[j].dist < p[i].dist) {
+			break
+		}
+		p[i], p[j] = p[j], p[i]
+		i = j
+	}
+}
 
 // minCostMaxFlow pushes as much flow as possible from s to t, minimizing
 // total cost among maximum flows. It returns (flow, cost).
 func (g *flowGraph) minCostMaxFlow(s, t int) (int, float64) {
-	potential := make([]float64, g.n)
-	dist := make([]float64, g.n)
-	prevEdge := make([]int, g.n)
+	if cap(g.potential) < g.n {
+		g.potential = make([]float64, g.n)
+		g.dist = make([]float64, g.n)
+		g.prevEdge = make([]int, g.n)
+	}
+	potential := g.potential[:g.n]
+	dist := g.dist[:g.n]
+	prevEdge := g.prevEdge[:g.n]
+	for i := range potential {
+		potential[i] = 0
+	}
 	totalFlow := 0
 	totalCost := 0.0
 	for {
@@ -64,9 +143,10 @@ func (g *flowGraph) minCostMaxFlow(s, t int) (int, float64) {
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		h := &pq{{node: s}}
-		for h.Len() > 0 {
-			it := heap.Pop(h).(pqItem)
+		g.heap = append(g.heap[:0], pqItem{node: s})
+		h := &g.heap
+		for len(*h) > 0 {
+			it := h.pop()
 			if it.dist > dist[it.node] {
 				continue
 			}
@@ -79,7 +159,7 @@ func (g *flowGraph) minCostMaxFlow(s, t int) (int, float64) {
 				if nd < dist[e.to]-1e-12 {
 					dist[e.to] = nd
 					prevEdge[e.to] = ei
-					heap.Push(h, pqItem{node: e.to, dist: nd})
+					h.push(pqItem{node: e.to, dist: nd})
 				}
 			}
 		}

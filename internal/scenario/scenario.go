@@ -90,6 +90,11 @@ type Scenario struct {
 
 	// RecordSeries keeps the per-slot time series in the result.
 	RecordSeries bool `json:"record_series,omitempty"`
+
+	// DisableSlotSkipping forces the simulator's full per-slot pipeline,
+	// turning off the bit-exact event-driven fast path. For verification
+	// and benchmarking (see core.Config.DisableSlotSkipping).
+	DisableSlotSkipping bool `json:"disable_slot_skipping,omitempty"`
 }
 
 // Default returns the quarter-scale reference scenario.
@@ -183,6 +188,7 @@ func (s Scenario) Compile() (core.Config, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = s.Seed
 	cfg.RecordSeries = s.RecordSeries
+	cfg.DisableSlotSkipping = s.DisableSlotSkipping
 	cfg.FailureMTBFHours = s.FailureMTBFHours
 	cfg.NodeRepairSlots = s.NodeRepairSlots
 	if s.Faults != nil {

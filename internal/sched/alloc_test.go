@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 // TestPlacerSteadyStateAllocFree pins down the Placer's reuse contract: a
@@ -31,5 +33,135 @@ func TestPlacerSteadyStateAllocFree(t *testing.T) {
 	})
 	if avg > 0 {
 		t.Fatalf("warmed Place allocates %.0f times per call; want 0", avg)
+	}
+}
+
+// busyMatchView builds a view with several classes of deferrable
+// participants and a forecast that keeps them deferred (no current-slot
+// capacity, plenty later), so Plan exercises the full grouped matching.
+// The deadline stagger parameter shifts latest-start offsets between views,
+// changing the matching topology.
+func busyMatchView(slot, stagger int, sc *PlanScratch) View {
+	var waiting []JobRef
+	id := 0
+	for c := 0; c < 4; c++ {
+		for j := 0; j < 10; j++ {
+			dur := 2 + c
+			deadline := slot + 20 + stagger*c + dur
+			waiting = append(waiting, mkRef(id, workload.Batch, 0, dur, deadline, dur))
+			id++
+		}
+	}
+	forecast := make([]units.Power, 24)
+	for k := 1; k < 24; k++ {
+		forecast[k] = units.Power(100 + 50*k)
+	}
+	return View{
+		Slot:               slot,
+		SlotHours:          1,
+		Waiting:            waiting,
+		GreenForecast:      forecast,
+		EstMandatoryPowerW: 50,
+		PerJobPowerW:       25,
+		TotalCPUCapacity:   200,
+		Scratch:            sc,
+	}
+}
+
+// TestGreenMatchPlanScratchEquivalent pins the PlanScratch contract: a
+// scratch-threaded Plan must return the same decision as a scratch-free
+// one, across repeated and varied views (memo, repair, and rebuild solver
+// tiers all included).
+func TestGreenMatchPlanScratchEquivalent(t *testing.T) {
+	g := GreenMatch{}
+	sc := &PlanScratch{}
+	views := []View{
+		busyMatchView(5, 10, sc),
+		busyMatchView(5, 10, sc), // repeat: memo tier
+		busyMatchView(6, 10, sc),
+		busyMatchView(6, 11, sc),
+		busyMatchView(7, 3, sc),
+	}
+	for i, v := range views {
+		got := g.Plan(v)
+		v.Scratch = nil
+		want := g.Plan(v)
+		if len(got.StartWaiting) != len(want.StartWaiting) {
+			t.Fatalf("view %d: %d starts with scratch, %d without", i, len(got.StartWaiting), len(want.StartWaiting))
+		}
+		for k := range want.StartWaiting {
+			if got.StartWaiting[k] != want.StartWaiting[k] {
+				t.Fatalf("view %d start %d: %d != %d", i, k, got.StartWaiting[k], want.StartWaiting[k])
+			}
+		}
+		if len(got.SuspendRunning) != len(want.SuspendRunning) {
+			t.Fatalf("view %d: suspend counts differ", i)
+		}
+		if got.Consolidate != want.Consolidate || got.SpinDownDisks != want.SpinDownDisks {
+			t.Fatalf("view %d: flags differ", i)
+		}
+	}
+}
+
+// TestGreenMatchPlanBusyAllocFree extends the zero-allocation contract to
+// the busy matching path: once the scratch is warm, planning a slot with
+// dozens of matching participants must not allocate, whichever solver tier
+// the slot hits (memo on a repeated view, cold rebuild when the topology
+// shifts between views).
+func TestGreenMatchPlanBusyAllocFree(t *testing.T) {
+	g := GreenMatch{}
+	sc := &PlanScratch{}
+	v1 := busyMatchView(5, 10, sc)
+	v2 := busyMatchView(6, 11, sc)
+	for i := 0; i < 4; i++ {
+		g.Plan(v1)
+		g.Plan(v2)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		g.Plan(v1) // rebuild: different topology from v2
+		g.Plan(v1) // memo
+		g.Plan(v2) // rebuild
+	})
+	if avg > 0 {
+		t.Fatalf("warm busy-path Plan allocates %.1f times per round; want 0", avg)
+	}
+	st := sc.SolverStats()
+	if st.MemoHits == 0 || st.ColdSolves == 0 {
+		t.Fatalf("test did not exercise both memo and cold tiers: %+v", st)
+	}
+}
+
+// TestQuiescentDecisionContract verifies the QuiescentPlanner guarantee for
+// every built-in policy: on any view with empty Waiting and
+// RunningDeferrable sets, Plan returns exactly QuiescentDecision().
+func TestQuiescentDecisionContract(t *testing.T) {
+	policies := []Policy{
+		Baseline{},
+		SpinDown{},
+		DeferFraction{Fraction: 0.5},
+		GreenMatch{},
+		GreenMatch{BatteryAware: true},
+	}
+	views := []View{
+		{Slot: 0, SlotHours: 1},
+		{Slot: 9, SlotHours: 1, GreenForecast: flatForecast(500, 24), EstMandatoryPowerW: 100, PerJobPowerW: 25},
+		{Slot: 3, SlotHours: 1, GreenForecast: flatForecast(0, 24), EstMandatoryPowerW: 400, PerJobPowerW: 25, Degraded: true, FailedNodes: 2, TotalCPUCapacity: 10},
+		{Slot: 7, SlotHours: 1, GreenForecast: flatForecast(200, 24), BatterySoC: 0.5, BatteryUsableWh: 5000, BatteryEfficiency: 0.9, PerJobPowerW: 25},
+	}
+	for _, p := range policies {
+		qp, ok := p.(QuiescentPlanner)
+		if !ok {
+			t.Fatalf("%s does not implement QuiescentPlanner", p.Name())
+		}
+		want := qp.QuiescentDecision()
+		for i, v := range views {
+			got := p.Plan(v)
+			if len(got.StartWaiting) != len(want.StartWaiting) ||
+				len(got.SuspendRunning) != len(want.SuspendRunning) ||
+				got.Consolidate != want.Consolidate ||
+				got.SpinDownDisks != want.SpinDownDisks {
+				t.Fatalf("%s view %d: Plan %+v != QuiescentDecision %+v", p.Name(), i, got, want)
+			}
+		}
 	}
 }

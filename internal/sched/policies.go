@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/match"
 	"repro/internal/units"
@@ -232,11 +231,17 @@ func (g GreenMatch) Plan(v View) Decision {
 	d := Decision{Consolidate: true, SpinDownDisks: true}
 	// Nothing to start, nothing to suspend: skip the capacity derivation and
 	// matching entirely. This keeps the drained steady state of a run
-	// allocation-free (the capacity slice below is per-call) and is
-	// behavior-identical — with both sets empty every path out of the full
-	// plan returns this same decision with no starts and no suspensions.
+	// allocation-free and is behavior-identical — with both sets empty every
+	// path out of the full plan returns this same decision with no starts
+	// and no suspensions (the QuiescentDecision contract).
 	if len(v.Waiting) == 0 && len(v.RunningDeferrable) == 0 {
 		return d
+	}
+	sc := v.Scratch
+	if sc == nil {
+		// Callers that don't thread scratch (one-shot planning, tests) get a
+		// fresh one; the scratch only recycles allocations, never results.
+		sc = &PlanScratch{}
 	}
 	h := g.horizon()
 
@@ -245,7 +250,7 @@ func (g GreenMatch) Plan(v View) Decision {
 	// jobs into a slot than FFD can seat would silently queue them at
 	// deadline time.
 	spaceJobs := v.spaceJobs()
-	capacity := make([]int, h)
+	capacity := scratchInts(&sc.capacity, h)
 	headroomNow := 0.0
 	for k := 0; k < h; k++ {
 		head := greenAt(v, k).Watts() - v.EstMandatoryPowerW.Watts()
@@ -262,8 +267,8 @@ func (g GreenMatch) Plan(v View) Decision {
 
 	// Partition waiting jobs: non-participants and slack-exhausted jobs
 	// start now; participants enter the matching.
-	var starts []int
-	var parts []part
+	starts := sc.starts[:0]
+	parts := sc.parts[:0]
 	for i, r := range v.Waiting {
 		if !stickyDefer(r.Job.ID, g.fraction()) || r.SlackAt(v.Slot) <= g.reserve() {
 			starts = append(starts, i)
@@ -271,6 +276,7 @@ func (g GreenMatch) Plan(v View) Decision {
 		}
 		parts = append(parts, part{idx: i, latestStart: v.Slot + r.SlackAt(v.Slot), remaining: r.Remaining})
 	}
+	sc.parts = parts
 
 	// Graceful degradation: when the whole horizon offers no green
 	// capacity (deep overcast, midwinter nights-and-gloom), deferral can
@@ -281,6 +287,7 @@ func (g GreenMatch) Plan(v View) Decision {
 		totalCap += c
 	}
 	if totalCap == 0 {
+		sc.starts = starts
 		d.StartWaiting = allIndices(len(v.Waiting))
 		return d
 	}
@@ -299,7 +306,7 @@ func (g GreenMatch) Plan(v View) Decision {
 		// classes and the assignment collapses to a small transportation
 		// problem — exactly equivalent to the per-job flow (tested), but
 		// with cost independent of the job count.
-		starts = append(starts, g.planGrouped(v, parts, capacity, h)...)
+		starts = g.planGrouped(v, parts, capacity, h, sc, starts)
 	} else if len(parts) > 0 {
 		in := match.Instance{
 			Weights:  make([][]float64, len(parts)),
@@ -328,6 +335,12 @@ func (g GreenMatch) Plan(v View) Decision {
 			}
 		}
 	}
+	sc.starts = starts
+	if len(starts) == 0 {
+		// Preserve the historical nil-vs-empty distinction for callers that
+		// compare decisions structurally.
+		starts = nil
+	}
 	d.StartWaiting = starts
 	if v.Degraded {
 		// Graceful degradation mirrors DeferFraction: never suspend while
@@ -351,10 +364,15 @@ func (g GreenMatch) Plan(v View) Decision {
 		batteryBuffers := g.BatteryAware && v.BatteryEfficiency > 0 &&
 			v.BatteryUsableWh.Wh() >= 2*v.EstMandatoryPowerW.Watts()
 		if !batteryBuffers {
+			suspends := sc.suspends[:0]
 			for i, r := range v.RunningDeferrable {
 				if stickyDefer(r.Job.ID, g.fraction()) && r.SlackAt(v.Slot) > g.reserve() {
-					d.SuspendRunning = append(d.SuspendRunning, i)
+					suspends = append(suspends, i)
 				}
+			}
+			sc.suspends = suspends
+			if len(suspends) > 0 {
+				d.SuspendRunning = suspends
 			}
 		}
 	}
@@ -379,6 +397,15 @@ type part struct {
 // through (latestStart, remaining), which is what keeps the grouped fast
 // path exact.
 func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
+	row := make([]float64, h)
+	g.weightRowInto(v, h, latestStart, remaining, row)
+	return row
+}
+
+// weightRowInto writes the weight row into the caller's buffer (len h); the
+// arithmetic is shared with weightRow so scratch-backed and allocating
+// planning produce bit-identical rows.
+func (g GreenMatch) weightRowInto(v View, h, latestStart, remaining int, row []float64) {
 	if remaining < 1 {
 		remaining = 1
 	}
@@ -398,7 +425,6 @@ func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
 			}
 		}
 	}
-	row := make([]float64, h)
 	for k := 0; k < h; k++ {
 		if v.Slot+k > latestStart {
 			row[k] = match.Forbidden
@@ -415,60 +441,96 @@ func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
 		score := covered / float64(remaining) * greenValue
 		row[k] = score + g.bonus()*float64(h-k)/float64(h)
 	}
-	return row
-}
-
-// groupKey identifies a class of interchangeable matching participants.
-type groupKey struct {
-	off int // latest-start offset, clamped to the horizon
-	rem int // remaining duration, clamped to the horizon
 }
 
 // planGrouped solves the matching on the grouped (transportation) instance
-// and returns the View.Waiting indices to start now. Jobs group by
-// (latest-start offset, remaining duration), both clamped to the horizon;
-// all members of a group share a weight row, so the grouped solve is
-// exactly equivalent to the per-job flow.
-func (g GreenMatch) planGrouped(v View, parts []part, capacity []int, h int) []int {
-	groupOf := make(map[groupKey][]int)
+// and appends the View.Waiting indices to start now onto starts. Jobs group
+// by (latest-start offset, remaining duration), both clamped to the
+// horizon; all members of a group share a weight row, so the grouped solve
+// is exactly equivalent to the per-job flow.
+//
+// Grouping uses a dense cell id (off*(h+1) + rem) scanned in ascending
+// order, which reproduces the historical map-then-sort key order —
+// off-major, rem-minor — and a counting sort that preserves each group's
+// members in parts order, all without allocating once the scratch is warm.
+// The transportation solve itself goes through the scratch's incremental
+// match.Solver, which is bit-identical to match.FlowGrouped.
+func (g GreenMatch) planGrouped(v View, parts []part, capacity []int, h int, sc *PlanScratch, starts []int) []int {
+	stride := h + 1
+	cellGroup := scratchInts(&sc.cellGroup, stride*stride)
+	partCell := scratchIntsNoZero(&sc.partCell, len(parts))
 	for i, p := range parts {
-		k := groupKey{off: p.latestStart - v.Slot, rem: p.remaining}
-		if k.off > h-1 {
-			k.off = h - 1
+		off := p.latestStart - v.Slot
+		if off > h-1 {
+			off = h - 1
 		}
-		if k.rem > h {
-			k.rem = h
+		rem := p.remaining
+		if rem > h {
+			rem = h
 		}
-		groupOf[k] = append(groupOf[k], i)
-	}
-	keys := make([]groupKey, 0, len(groupOf))
-	for k := range groupOf {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].off != keys[b].off {
-			return keys[a].off < keys[b].off
+		if rem < 0 {
+			rem = 0
 		}
-		return keys[a].rem < keys[b].rem
-	})
-	weights := make([][]float64, len(keys))
-	supply := make([]int, len(keys))
-	for gi, k := range keys {
-		weights[gi] = g.weightRow(v, h, v.Slot+k.off, k.rem)
-		supply[gi] = len(groupOf[k])
+		cell := off*stride + rem
+		partCell[i] = cell
+		cellGroup[cell]++ // member count, until groups are numbered below
 	}
-	res, err := match.FlowGrouped(weights, supply, capacity)
+	// Number the occupied cells in ascending order (== sorted key order) and
+	// lay out per-group member ranges.
+	supply := sc.supply[:0]
+	cellOf := sc.cellOf[:0]
+	memberOff := sc.memberOff[:0]
+	cursor := 0
+	for cell, count := range cellGroup {
+		if count == 0 {
+			continue
+		}
+		supply = append(supply, count)
+		cellOf = append(cellOf, cell)
+		memberOff = append(memberOff, cursor)
+		cursor += count
+		cellGroup[cell] = len(supply) // 1-based group number
+	}
+	sc.supply, sc.cellOf, sc.memberOff = supply, cellOf, memberOff
+	ng := len(supply)
+	memberNxt := scratchIntsNoZero(&sc.memberNxt, ng)
+	copy(memberNxt, memberOff)
+	members := scratchIntsNoZero(&sc.members, len(parts))
+	for i := range parts {
+		gi := cellGroup[partCell[i]] - 1
+		members[memberNxt[gi]] = i
+		memberNxt[gi]++
+	}
+	// Weight rows, one per group, carved out of a flat arena.
+	if cap(sc.rowBuf) < ng*h {
+		sc.rowBuf = make([]float64, ng*h)
+	}
+	sc.rowBuf = sc.rowBuf[:ng*h]
+	if cap(sc.rows) < ng {
+		sc.rows = make([][]float64, ng)
+	}
+	sc.rows = sc.rows[:ng]
+	for gi := 0; gi < ng; gi++ {
+		cell := cellOf[gi]
+		row := sc.rowBuf[gi*h : (gi+1)*h : (gi+1)*h]
+		g.weightRowInto(v, h, v.Slot+cell/stride, cell%stride, row)
+		sc.rows[gi] = row
+	}
+	res, err := sc.solver.SolveGrouped(sc.rows, supply, capacity)
 	if err != nil {
 		panic(fmt.Sprintf("sched: greenmatch built invalid grouped instance: %v", err))
 	}
-	var starts []int
-	for gi, k := range keys {
+	for gi := 0; gi < ng; gi++ {
 		n := res.Count[gi][0] // jobs of this group matched to "now"
-		members := groupOf[k]
-		for j := 0; j < n && j < len(members); j++ {
-			starts = append(starts, parts[members[j]].idx)
+		end := cursor
+		if gi+1 < ng {
+			end = memberOff[gi+1]
+		}
+		for j := 0; j < n && memberOff[gi]+j < end; j++ {
+			starts = append(starts, parts[members[memberOff[gi]+j]].idx)
 		}
 	}
+	sc.starts = starts
 	return starts
 }
 

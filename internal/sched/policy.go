@@ -83,6 +83,11 @@ type View struct {
 	Degraded bool
 	// FailedNodes is the crashed-node count behind Degraded.
 	FailedNodes int
+	// Scratch, when non-nil, is caller-owned reusable planning memory (the
+	// simulator threads one per run). Policies may use it to keep the busy
+	// planning path allocation-free; plans must be bit-identical with and
+	// without it. Policies must not retain it past the Plan call.
+	Scratch *PlanScratch
 }
 
 // Decision is a policy's plan for the current slot.

@@ -104,6 +104,18 @@ func (e *Engine) Len() int { return len(e.queue) }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// Peek returns the earliest pending event without executing or removing it,
+// or nil when the queue is empty. Callers may read Time and Priority to
+// decide how far the simulation can fast-forward before the event list has
+// anything to say; the event is still owned by the engine and must not be
+// mutated.
+func (e *Engine) Peek() *Event {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	return e.queue[0]
+}
+
 // ScheduleAt schedules fn at absolute virtual time t with the given
 // priority. Scheduling in the past is a programming error and panics,
 // because it would silently corrupt causality.

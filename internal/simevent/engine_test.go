@@ -284,3 +284,111 @@ func TestOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPeek(t *testing.T) {
+	e := NewEngine()
+	if e.Peek() != nil {
+		t.Fatal("Peek on empty queue should return nil")
+	}
+	e.ScheduleAt(5, PriTick, func() {})
+	early := e.ScheduleAt(2, PriArrival, func() {})
+	if got := e.Peek(); got != early {
+		t.Fatalf("Peek = %+v, want the t=2 arrival", got)
+	}
+	if e.Len() != 2 {
+		t.Fatal("Peek must not consume events")
+	}
+	e.Cancel(early)
+	if got := e.Peek(); got == nil || got.Time != 5 {
+		t.Fatalf("Peek after cancelling the head = %+v, want the t=5 tick", got)
+	}
+	e.RunAll()
+	if e.Peek() != nil {
+		t.Fatal("Peek after draining should return nil")
+	}
+}
+
+// TestCancelThenRunOrdering pins the interleaving the slot-skipping logic
+// depends on: cancelling an event between Run calls must neither fire it
+// nor disturb the (time, priority, insertion) order of the survivors.
+func TestCancelThenRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	mk := func(name string, at float64, pri int) *Event {
+		return e.ScheduleAt(at, pri, func() { got = append(got, name) })
+	}
+	a := mk("a", 1, PriArrival)
+	mk("b", 1, PriTick)
+	c := mk("c", 2, PriArrival)
+	mk("d", 2, PriCompletion)
+	e.Run(1) // fires a then b
+	if want := []string{"a", "b"}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("first window ran %v, want %v", got, want)
+	}
+	if !e.Cancel(c) {
+		t.Fatal("cancelling a not-yet-fired event failed")
+	}
+	if e.Cancel(a) {
+		t.Fatal("cancelling an already-fired event should be a no-op")
+	}
+	e.Run(10)
+	if len(got) != 3 || got[2] != "d" {
+		t.Fatalf("after cancel, ran %v, want a b d", got)
+	}
+}
+
+// TestCancelThenReschedule exercises the cancel-then-reschedule cycle: the
+// replacement event lands in its new (time, priority) position, and the
+// cancelled one stays dead even when the new event shares its timestamp.
+func TestCancelThenReschedule(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	old := e.ScheduleAt(3, PriCompletion, func() { got = append(got, "old") })
+	e.ScheduleAt(3, PriTick, func() { got = append(got, "tick3") })
+	e.Cancel(old)
+	e.ScheduleAt(3, PriCompletion, func() { got = append(got, "new") })
+	e.ScheduleAt(1, PriTick, func() { got = append(got, "tick1") })
+	e.RunAll()
+	want := []string{"tick1", "new", "tick3"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ran %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSameTimestampPriorityInterleaving pins the full priority ladder at a
+// shared timestamp — arrivals, then completions, then the tick, then
+// metrics — including events scheduled *by* an event at the same time and a
+// mid-ladder cancellation.
+func TestSameTimestampPriorityInterleaving(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	log := func(name string) func() {
+		return func() { got = append(got, name) }
+	}
+	e.ScheduleAt(2, PriMetrics, log("metrics"))
+	e.ScheduleAt(2, PriTick, log("tick"))
+	doomed := e.ScheduleAt(2, PriCompletion, log("doomed"))
+	e.ScheduleAt(2, PriCompletion, log("completion"))
+	e.ScheduleAt(2, PriArrival, func() {
+		got = append(got, "arrival")
+		// An arrival may schedule same-timestamp work: it must still run
+		// before the tick because of priority, not insertion order.
+		e.ScheduleAt(2, PriCompletion, log("spawned"))
+		e.Cancel(doomed)
+	})
+	e.Run(2)
+	want := []string{"arrival", "completion", "spawned", "tick", "metrics"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ran %v, want %v", got, want)
+		}
+	}
+}
