@@ -11,6 +11,7 @@ package greenmatch
 // throughput) follow the experiment benches.
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -21,11 +22,13 @@ import (
 	"repro/internal/match"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/solar"
 	"repro/internal/storage"
 	"repro/internal/units"
 	"repro/internal/workload"
+	"repro/scenarios"
 )
 
 // benchParams is the scale experiments run at under the bench harness:
@@ -96,6 +99,50 @@ func BenchmarkE18Seasonal(b *testing.B)          { runExperiment(b, "E18") }
 func BenchmarkE19BatteryAware(b *testing.B)      { runExperiment(b, "E19") }
 func BenchmarkE20OvercommitSweep(b *testing.B)   { runExperiment(b, "E20") }
 func BenchmarkE21TieredStorage(b *testing.B)     { runExperiment(b, "E21") }
+func BenchmarkE22Arena(b *testing.B)             { runExperiment(b, "E22") }
+
+// BenchmarkOracleRatio times the offline-optimal oracle solve on every
+// shipped scenario at bench scale and reports each scenario's GreenMatch
+// competitive ratio as the `result` metric, extending the gmbench
+// RESULT METRIC DRIFT gate to per-scenario ratios: a simulator change that
+// silently worsens (or "improves") brown energy relative to the offline
+// optimum shows up here scenario by scenario.
+func BenchmarkOracleRatio(b *testing.B) {
+	for _, name := range scenarios.Names() {
+		b.Run(name, func(b *testing.B) {
+			raw, err := scenarios.Bytes(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, err := scenario.Read(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg, err := sc.Scaled(benchParams().Scale).Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Policy = GreenMatch{}
+			res, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep OracleReport
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = SolveOracle(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if ratio, ok := rep.Ratio(res.Energy.Brown); ok {
+				b.ReportMetric(ratio, "result")
+			}
+		})
+	}
+}
 
 // --- substrate micro-benchmarks ---
 

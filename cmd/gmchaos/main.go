@@ -16,6 +16,7 @@
 //	gmchaos                          # 200 seeds against the built-in small scenario
 //	gmchaos -runs 1000 -seed 5000 -j 8
 //	gmchaos -scenario scenarios/grid-brownout.json -runs 50
+//	gmchaos -policy cucumber         # chaos the probabilistic-admission policy
 //	gmchaos -v                       # one summary line per seed
 package main
 
@@ -44,6 +45,7 @@ func main() {
 		slots    = flag.Int("slots", 200, "fault-schedule horizon in slots")
 		jobs     = flag.Int("j", 0, "parallel workers (0 = one per core)")
 		scenFile = flag.String("scenario", "", "base the runs on this scenario JSON instead of the built-in small scenario")
+		policy   = flag.String("policy", "", "override the scheduling policy (baseline, spindown, defer, greenmatch, mixed, edf, kchoices, cucumber)")
 		noSkip   = flag.Bool("noskip", false, "disable the simulator's event-driven slot skipping in both runs (plain determinism check instead of skip-equivalence)")
 		verbose  = flag.Bool("v", false, "print one line per seed")
 	)
@@ -68,7 +70,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for seed := range seeds {
-				res, err := chaosSeed(seed, *scenFile, *scale, *slots, *noSkip)
+				res, err := chaosSeed(seed, *scenFile, *policy, *scale, *slots, *noSkip)
 				o := outcome{seed: seed, err: err}
 				if res != nil {
 					o.faults = res.Degrade.DegradedSlots
@@ -116,10 +118,17 @@ func main() {
 // full per-slot pipeline, so every seed doubles as a skip-equivalence
 // proof over a random fault schedule; with noSkip both runs take the full
 // pipeline and the comparison degrades to a plain determinism check.
-func chaosSeed(seed int64, scenFile string, scale float64, slots int, noSkip bool) (*core.Result, error) {
+func chaosSeed(seed int64, scenFile, policy string, scale float64, slots int, noSkip bool) (*core.Result, error) {
 	cfg, err := baseConfig(seed, scenFile, scale)
 	if err != nil {
 		return nil, err
+	}
+	if policy != "" {
+		pol, err := scenario.PolicyFor(policy, 0, "", 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policy = pol
 	}
 	if !cfg.Faults.Enabled() {
 		cfg.Faults = fault.Generate(seed, fault.GenSpec{

@@ -1,5 +1,5 @@
 // Command gmexp runs experiments from the GreenMatch evaluation registry
-// (E1..E21; see DESIGN.md §3) and prints each figure's series / table's
+// (E1..E22; see DESIGN.md §3) and prints each figure's series / table's
 // rows, in text or CSV.
 //
 // Examples:
@@ -24,7 +24,7 @@ import (
 )
 
 var (
-	id         = flag.String("id", "", "experiment ID to run (E1..E21)")
+	id         = flag.String("id", "", "experiment ID to run (E1..E22)")
 	all        = flag.Bool("all", false, "run every experiment")
 	list       = flag.Bool("list", false, "list the registry and exit")
 	scale      = flag.Float64("scale", 0.25, "scenario scale (1.0 = paper scale; smaller is faster)")

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/forecast"
 	"repro/internal/metrics"
+	"repro/internal/oracle"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -69,6 +70,14 @@ type (
 	// GreenMatch is the paper's forecast-driven matching scheduler; set
 	// Fraction below 1 for the Mixed configuration.
 	GreenMatch = sched.GreenMatch
+	// EDF starts jobs in deadline order under the green-capacity budget.
+	EDF = sched.EDF
+	// KChoices probes K alternative start offsets per job and defers only
+	// when a probe beats starting now.
+	KChoices = sched.KChoices
+	// Cucumber admits deferrable jobs only when enough confidence-scaled
+	// future green slots cover them.
+	Cucumber = sched.Cucumber
 )
 
 // Substrate types re-exported for configuration.
@@ -178,11 +187,24 @@ func GenerateWind(turbines, slots int, seed int64) (SolarSeries, error) {
 	return wind.Generate(cfg)
 }
 
-// Experiments returns the full evaluation registry (E1..E21) in order.
+// Experiments returns the full evaluation registry (E1..E22) in order.
 func Experiments() []Experiment { return expt.All() }
 
-// ExperimentByID looks up one experiment ("E1".."E16").
+// ExperimentByID looks up one experiment ("E1".."E22").
 func ExperimentByID(id string) (Experiment, bool) { return expt.ByID(id) }
+
+// ArenaPolicies returns the full policy arena the oracle-ratio experiment
+// (E22) and the property suite compare: one representative configuration
+// of every scheduling genre.
+func ArenaPolicies() []Policy { return expt.ArenaPolicies() }
+
+// OracleReport is the offline-optimal oracle's solution for one scenario:
+// a lower bound on the brown energy any schedule must draw, and the
+// competitive-ratio denominator (see internal/oracle and docs/ARENA.md).
+type OracleReport = oracle.Report
+
+// SolveOracle computes the offline brown-energy lower bound for a config.
+func SolveOracle(cfg Config) (OracleReport, error) { return oracle.Solve(cfg) }
 
 // Audit layer: a structured per-slot trace of every energy flow and
 // scheduler action, emitted by the simulator when Config.Observer is set

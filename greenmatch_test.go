@@ -85,8 +85,8 @@ func TestFacadeGenerators(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 21 {
-		t.Fatalf("want 21 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 22 {
+		t.Fatalf("want 22 experiments, got %d", len(Experiments()))
 	}
 	e, ok := ExperimentByID("E1")
 	if !ok || e.ID != "E1" {

@@ -9,14 +9,32 @@ import (
 	"repro/internal/audit"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
+// chaosPolicies is the policy arena the chaos harness cycles through by
+// seed, so every scheduling genre — including the quiescent planners the
+// slot-skipping fast path special-cases — faces random fault schedules.
+// Mirrors expt.ArenaPolicies, which internal/core cannot import.
+var chaosPolicies = []sched.Policy{
+	sched.Baseline{},
+	sched.SpinDown{},
+	sched.DeferFraction{Fraction: 0.6},
+	sched.GreenMatch{},
+	sched.GreenMatch{Fraction: 0.5},
+	sched.EDF{},
+	sched.KChoices{},
+	sched.Cucumber{},
+}
+
 // chaosConfig returns the small battery-equipped scenario the chaos
 // harness perturbs: big enough that every fault kind has something to
 // break (a battery to fade, green supply to derate, replicas to lose),
-// small enough that hundreds of seeded runs stay a unit test.
+// small enough that hundreds of seeded runs stay a unit test. The policy
+// cycles with the seed, so the 16-seed -short pass still covers the whole
+// arena twice.
 func chaosConfig(seed int64) Config {
 	cfg := smallConfig()
 	gen := workload.Scaled(0.08)
@@ -24,6 +42,7 @@ func chaosConfig(seed int64) Config {
 	cfg.Trace = workload.MustGenerate(gen)
 	cfg.BatteryCapacityWh = 10 * units.KilowattHour
 	cfg.Seed = seed
+	cfg.Policy = chaosPolicies[int(seed)%len(chaosPolicies)]
 	return cfg
 }
 

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -20,8 +21,8 @@ func parse(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -606,5 +607,62 @@ func TestE21TieredStorage(t *testing.T) {
 	// GreenMatch still beats baseline on the tiered layout.
 	if parse(t, get("tiered", "greenmatch")[3]) >= parse(t, get("tiered", "baseline")[3]) {
 		t.Error("greenmatch lost its advantage on the tiered layout")
+	}
+}
+
+func TestE22ArenaRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full arena sweep in -short mode")
+	}
+	tables, err := ByIDMust("E22").Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPols := len(ArenaPolicies())
+	if len(tables) < 2 {
+		t.Fatalf("want per-scenario tables plus a summary, got %d tables", len(tables))
+	}
+	summary := tables[len(tables)-1]
+	for _, tb := range tables[:len(tables)-1] {
+		if len(tb.Rows) != nPols {
+			t.Fatalf("table %q has %d rows, want one per arena policy (%d)", tb.Title, len(tb.Rows), nPols)
+		}
+		for _, r := range tb.Rows {
+			if r[3] == "n/a" {
+				continue
+			}
+			if ratio := parse(t, r[3]); ratio < 1 {
+				t.Errorf("table %q policy %s: competitive ratio %v below 1 — the oracle is not a lower bound", tb.Title, r[0], ratio)
+			}
+		}
+	}
+	// The summary's overall mean (the gmbench drift canary) must be a
+	// sane ratio: at least 1, and not so large the bound is vacuous.
+	last := summary.Rows[len(summary.Rows)-1]
+	if last[0] != "overall" {
+		t.Fatalf("summary's last row is %v, want the overall mean", last)
+	}
+	mean := parse(t, last[4])
+	if mean < 1 || mean > 100 {
+		t.Fatalf("overall mean competitive ratio %v implausible", mean)
+	}
+	// GreenMatch should be competitive: on the reference scenario its
+	// ratio must not exceed baseline's.
+	for _, tb := range tables[:len(tables)-1] {
+		if !strings.Contains(tb.Title, "reference") {
+			continue
+		}
+		var base, gm float64
+		for _, r := range tb.Rows {
+			if r[0] == "baseline" {
+				base = parse(t, r[3])
+			}
+			if r[0] == "greenmatch" {
+				gm = parse(t, r[3])
+			}
+		}
+		if gm > base {
+			t.Errorf("reference arena: greenmatch ratio %v exceeds baseline %v", gm, base)
+		}
 	}
 }

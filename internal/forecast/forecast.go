@@ -240,3 +240,21 @@ func Evaluate(f Forecaster, actual solar.Provider, warmup int) Errors {
 		Bias: sumSigned / float64(count),
 	}
 }
+
+// ConfidenceScale maps a confidence level p in [0.5, 1] to the factor a
+// point forecast is discounted by before a scheduler commits work against
+// it: treating the forecaster's error as roughly symmetric around the
+// point estimate, "supply exceeds q with probability p" tightens linearly
+// from the median (p = 0.5, no discount) to half the point forecast at
+// p = 1. Values outside [0.5, 1] clamp. Probabilistic admission policies
+// (sched.Cucumber) use this to defer work only when the discounted
+// forecast still fits it in green power.
+func ConfidenceScale(p float64) float64 {
+	if p < 0.5 {
+		p = 0.5
+	}
+	if p > 1 {
+		p = 1
+	}
+	return 1.5 - p
+}

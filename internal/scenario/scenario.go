@@ -63,11 +63,14 @@ type Scenario struct {
 	// InfiniteBattery substitutes an ideal unbounded ESD.
 	InfiniteBattery bool `json:"infinite_battery,omitempty"`
 
-	// Policy is "baseline", "spindown", "defer", "greenmatch" or "mixed";
-	// Fraction applies to defer/mixed; Solver to greenmatch/mixed.
-	Policy   string  `json:"policy"`
-	Fraction float64 `json:"fraction,omitempty"`
-	Solver   string  `json:"solver,omitempty"`
+	// Policy is "baseline", "spindown", "defer", "greenmatch", "mixed",
+	// "edf", "kchoices" or "cucumber"; Fraction applies to defer/mixed;
+	// Solver to greenmatch/mixed; K to kchoices; Confidence to cucumber.
+	Policy     string  `json:"policy"`
+	Fraction   float64 `json:"fraction,omitempty"`
+	Solver     string  `json:"solver,omitempty"`
+	K          int     `json:"k,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 
 	// Forecaster is "perfect", "persistence", "ma" or "ewma".
 	Forecaster string `json:"forecaster,omitempty"`
@@ -309,28 +312,46 @@ func (s Scenario) Compile() (core.Config, error) {
 	}
 
 	// Policy.
-	fraction := s.Fraction
-	if fraction <= 0 || fraction > 1 {
-		fraction = 1
+	pol, err := PolicyFor(s.Policy, s.Fraction, s.Solver, s.K, s.Confidence)
+	if err != nil {
+		return core.Config{}, err
 	}
-	switch s.Policy {
-	case "", "greenmatch":
-		cfg.Policy = sched.GreenMatch{Solver: sched.Solver(s.Solver)}
-	case "mixed":
-		cfg.Policy = sched.GreenMatch{Fraction: fraction, Solver: sched.Solver(s.Solver)}
-	case "baseline":
-		cfg.Policy = sched.Baseline{}
-	case "spindown":
-		cfg.Policy = sched.SpinDown{}
-	case "defer":
-		cfg.Policy = sched.DeferFraction{Fraction: fraction}
-	default:
-		return core.Config{}, fmt.Errorf("scenario: unknown policy %q", s.Policy)
-	}
+	cfg.Policy = pol
 
 	cfg = cfg.ApplyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
 	}
 	return cfg, nil
+}
+
+// PolicyFor resolves a scenario policy name plus its tuning fields into a
+// sched.Policy. It is the single mapping from serialized policy spellings
+// to scheduler implementations, shared by Compile and the command-line
+// tools (gmchaos -policy). Fraction outside (0, 1] defaults to 1; K and
+// Confidence at zero take the policy's own defaults.
+func PolicyFor(name string, fraction float64, solver string, k int, confidence float64) (sched.Policy, error) {
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	switch name {
+	case "", "greenmatch":
+		return sched.GreenMatch{Solver: sched.Solver(solver)}, nil
+	case "mixed":
+		return sched.GreenMatch{Fraction: fraction, Solver: sched.Solver(solver)}, nil
+	case "baseline":
+		return sched.Baseline{}, nil
+	case "spindown":
+		return sched.SpinDown{}, nil
+	case "defer":
+		return sched.DeferFraction{Fraction: fraction}, nil
+	case "edf":
+		return sched.EDF{}, nil
+	case "kchoices":
+		return sched.KChoices{K: k}, nil
+	case "cucumber":
+		return sched.Cucumber{Confidence: confidence}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown policy %q", name)
+	}
 }

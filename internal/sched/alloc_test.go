@@ -141,6 +141,9 @@ func TestQuiescentDecisionContract(t *testing.T) {
 		DeferFraction{Fraction: 0.5},
 		GreenMatch{},
 		GreenMatch{BatteryAware: true},
+		EDF{},
+		KChoices{},
+		Cucumber{},
 	}
 	views := []View{
 		{Slot: 0, SlotHours: 1},

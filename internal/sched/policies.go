@@ -73,7 +73,7 @@ func (p DeferFraction) Plan(v View) Decision {
 		// the remaining headroom allows, non-participants first (they never
 		// wait), then participants by ascending slack.
 		budget := int((headroom - runningW) / v.PerJobPowerW.Watts())
-		if sj := v.spaceJobs(); budget > sj {
+		if sj := v.SpaceJobs(); budget > sj {
 			budget = sj
 		}
 		d.StartWaiting = p.selectStarts(v, budget)
@@ -249,7 +249,7 @@ func (g GreenMatch) Plan(v View) Decision {
 	// green power budget and the cluster's placement space: matching more
 	// jobs into a slot than FFD can seat would silently queue them at
 	// deadline time.
-	spaceJobs := v.spaceJobs()
+	spaceJobs := v.SpaceJobs()
 	capacity := scratchInts(&sc.capacity, h)
 	headroomNow := 0.0
 	for k := 0; k < h; k++ {
@@ -313,7 +313,7 @@ func (g GreenMatch) Plan(v View) Decision {
 			Capacity: capacity,
 		}
 		for j, p := range parts {
-			in.Weights[j] = g.weightRow(v, h, p.latestStart, p.remaining)
+			in.Weights[j] = g.WeightRow(v, h, p.latestStart, p.remaining)
 		}
 		var res match.Result
 		var err error
@@ -388,15 +388,16 @@ type part struct {
 	remaining   int
 }
 
-// weightRow builds the per-slot attractiveness row for a job with the given
+// WeightRow builds the per-slot attractiveness row for a job with the given
 // latest start and remaining duration. The score of starting at offset k is
 // the fraction of the job's remaining runtime [k, k+remaining) that the
 // forecast green headroom can cover (each slot contributes up to one
 // job-power's worth), so multi-slot jobs prefer windows where their whole
 // run is green, not just their first hour. The row depends on the job only
 // through (latestStart, remaining), which is what keeps the grouped fast
-// path exact.
-func (g GreenMatch) weightRow(v View, h, latestStart, remaining int) []float64 {
+// path exact. Exported so the offline oracle (internal/oracle) can rebuild
+// the exact online instance for differential testing.
+func (g GreenMatch) WeightRow(v View, h, latestStart, remaining int) []float64 {
 	row := make([]float64, h)
 	g.weightRowInto(v, h, latestStart, remaining, row)
 	return row
@@ -430,17 +431,26 @@ func (g GreenMatch) weightRowInto(v View, h, latestStart, remaining int, row []f
 			row[k] = match.Forbidden
 			continue
 		}
-		covered := 0.0
-		for t := k; t < k+remaining && t < h; t++ {
-			head := greenAt(v, t).Watts() - v.EstMandatoryPowerW.Watts()
-			if head <= 0 {
-				continue
-			}
-			covered += minf(head, perJob) / perJob
-		}
-		score := covered / float64(remaining) * greenValue
+		score := greenCoverage(v, h, k, remaining, perJob) * greenValue
 		row[k] = score + g.bonus()*float64(h-k)/float64(h)
 	}
+}
+
+// greenCoverage is the shared scoring kernel: the fraction of a
+// remaining-slot run starting at forecast offset k that green headroom
+// covers, each slot contributing up to one perJob-power's worth. GreenMatch
+// weight rows and KChoices probe scoring both use it, so their notions of
+// "how green is this start" agree by construction.
+func greenCoverage(v View, h, k, remaining int, perJob float64) float64 {
+	covered := 0.0
+	for t := k; t < k+remaining && t < h; t++ {
+		head := greenAt(v, t).Watts() - v.EstMandatoryPowerW.Watts()
+		if head <= 0 {
+			continue
+		}
+		covered += minf(head, perJob) / perJob
+	}
+	return covered / float64(remaining)
 }
 
 // planGrouped solves the matching on the grouped (transportation) instance

@@ -131,12 +131,12 @@ type Policy interface {
 	Plan(v View) Decision
 }
 
-// spaceJobs estimates how many additional deferrable jobs the cluster can
+// SpaceJobs estimates how many additional deferrable jobs the cluster can
 // seat right now, from the CPU not occupied by mandatory or already-running
 // deferrable work, at the average waiting-job CPU demand (1.25 cores when
 // there is nothing to average). Zero when the view carries no capacity
 // information (tests that only exercise the power budget).
-func (v View) spaceJobs() int {
+func (v View) SpaceJobs() int {
 	if v.TotalCPUCapacity <= 0 {
 		return 1 << 30 // capacity unknown: unbounded
 	}
@@ -148,7 +148,7 @@ func (v View) spaceJobs() int {
 }
 
 // avgWaitingCPU returns the mean CPU demand of the waiting jobs (1.25 cores
-// when there is nothing to average), the planning constant spaceJobs and
+// when there is nothing to average), the planning constant SpaceJobs and
 // backlogBound share.
 func (v View) avgWaitingCPU() float64 {
 	avg := 1.25

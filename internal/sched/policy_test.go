@@ -365,7 +365,7 @@ func TestPolicyNames(t *testing.T) {
 
 func TestSpaceJobs(t *testing.T) {
 	// Unknown capacity: unbounded.
-	if (View{}).spaceJobs() < 1<<29 {
+	if (View{}).SpaceJobs() < 1<<29 {
 		t.Error("capacity-less view should be unbounded")
 	}
 	// Free capacity divided by the mean waiting-job demand.
@@ -377,17 +377,17 @@ func TestSpaceJobs(t *testing.T) {
 			mkRef(2, workload.Batch, 0, 2, 10, 2),
 		},
 	}
-	if got := v.spaceJobs(); got != 60 {
+	if got := v.SpaceJobs(); got != 60 {
 		t.Errorf("spaceJobs = %d, want 60 (free 60 / avg 1.0)", got)
 	}
 	// Saturated cluster: zero.
 	v.EstMandatoryCPU = 100
-	if v.spaceJobs() != 0 {
+	if v.SpaceJobs() != 0 {
 		t.Error("saturated cluster should have zero space")
 	}
 	// No waiting jobs: the 1.25-core default applies.
 	empty := View{TotalCPUCapacity: 12.5, EstMandatoryCPU: 0}
-	if got := empty.spaceJobs(); got != 10 {
+	if got := empty.SpaceJobs(); got != 10 {
 		t.Errorf("default-demand spaceJobs = %d, want 10", got)
 	}
 }
@@ -417,13 +417,13 @@ func TestWeightRowDurationAwareness(t *testing.T) {
 	}
 	v := View{Slot: 0, GreenForecast: fc, EstMandatoryPowerW: 100, PerJobPowerW: 25}
 	g := GreenMatch{}
-	short := g.weightRow(v, 24, 20, 1)
-	long := g.weightRow(v, 24, 20, 6)
+	short := g.WeightRow(v, 24, 20, 1)
+	long := g.WeightRow(v, 24, 20, 6)
 	if short[2] <= long[2] {
 		t.Errorf("1-slot job at k=2 scores %v, 6-slot job %v; duration-awareness broken", short[2], long[2])
 	}
 	// Forbidden beyond the latest start.
-	row := g.weightRow(v, 24, 3, 1)
+	row := g.WeightRow(v, 24, 3, 1)
 	if row[4] != match.Forbidden || row[3] == match.Forbidden {
 		t.Error("forbidden boundary wrong")
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -108,15 +109,33 @@ func TestSkipEquivalenceScenarios(t *testing.T) {
 // chaos fault schedules (crash storms, supply dropouts, battery faults,
 // forecast corruption, random MTBF crashes) — the adversarial case for
 // slot skipping, since structural fault events must break every
-// fast-forward streak exactly where the full pipeline acts on them.
+// fast-forward streak exactly where the full pipeline acts on them. The
+// variants pair seeds with the arena's quiescent planners (EDF, k-choices,
+// Cucumber), whose skip-eligibility claims must survive the same storms.
 func TestSkipEquivalenceChaosStorm(t *testing.T) {
-	seeds := []int64{4242, 4243}
-	if testing.Short() {
-		seeds = seeds[:1]
+	cases := []struct {
+		name   string
+		seed   int64
+		policy sched.Policy
+	}{
+		{"A", 4242, nil}, // scenario default (GreenMatch)
+		{"B", 4243, nil},
+		{"edf", 4244, sched.EDF{}},
+		{"kchoices", 4245, sched.KChoices{}},
+		{"cucumber", 4246, sched.Cucumber{}},
 	}
-	for _, seed := range seeds {
-		seed := seed
-		t.Run(string(rune('A'+seed-4242)), func(t *testing.T) {
+	if testing.Short() {
+		// One default seed plus one new quiescent planner keeps the CI race
+		// pass within its wall-clock budget.
+		cases = []struct {
+			name   string
+			seed   int64
+			policy sched.Policy
+		}{cases[0], cases[4]}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
 			cfg := core.DefaultConfig()
 			cl := storage.DefaultConfig()
@@ -124,13 +143,16 @@ func TestSkipEquivalenceChaosStorm(t *testing.T) {
 			cl.Objects = 400
 			cfg.Cluster = cl
 			gen := workload.Scaled(0.08)
-			gen.Seed = seed
+			gen.Seed = c.seed
 			cfg.Trace = workload.MustGenerate(gen)
 			cfg.Green = core.DefaultGreen(40)
 			cfg.BatteryCapacityWh = 10 * units.KilowattHour
 			cfg.ReadsPerSlot = 50
-			cfg.Seed = seed
-			cfg.Faults = fault.Generate(seed, fault.GenSpec{
+			cfg.Seed = c.seed
+			if c.policy != nil {
+				cfg.Policy = c.policy
+			}
+			cfg.Faults = fault.Generate(c.seed, fault.GenSpec{
 				Slots:     200,
 				Nodes:     cl.Nodes,
 				AllowMTBF: true,
