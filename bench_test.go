@@ -419,6 +419,39 @@ func BenchmarkSimulatorSlotThroughput(b *testing.B) {
 	b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
 }
 
+// BenchmarkLiveDecisionThroughput measures the steady-state decision rate
+// of the steppable live scheduler — the core cmd/gmserve drives — stepping
+// slot by slot the way the daemon's tick path does instead of through the
+// batch loop. decisions/s is the service's headline capacity number; the
+// per-run decision count is deterministic and doubles as the `result`
+// metric, so the gmbench drift gate pins the decision stream itself, not
+// just its speed.
+func BenchmarkLiveDecisionThroughput(b *testing.B) {
+	cfg := benchCfg()
+	decisions, perRun := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := NewLiveScheduler(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !l.Drained() {
+			if err := l.StepTo(l.NextSlot()); err != nil { // exactly one slot, like a tick
+				b.Fatal(err)
+			}
+		}
+		if _, err := l.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+		decisions += l.NextSlot()
+		perRun = l.NextSlot()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(decisions)/b.Elapsed().Seconds(), "decisions/s")
+	b.ReportMetric(float64(perRun), "result")
+}
+
 // sparseBenchCfg builds the event-driven fast path's home turf: an ~8000
 // slot horizon over the full-size reference cluster where short, tight-
 // deadline batch bursts arrive every 100 slots and run immediately, so the

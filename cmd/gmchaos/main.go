@@ -18,6 +18,20 @@
 //	gmchaos -scenario scenarios/grid-brownout.json -runs 50
 //	gmchaos -policy cucumber         # chaos the probabilistic-admission policy
 //	gmchaos -v                       # one summary line per seed
+//
+// With -serve the harness goes live: each seed starts a real gmserve
+// daemon, replays the chaos workload over HTTP, SIGKILLs the daemon
+// mid-replay, restarts it against the same state directory, finishes the
+// run and asserts the recovered audit trace and Result are byte-identical
+// to a local batch simulation:
+//
+//	gmchaos -serve -runs 3                       # gmserve found on PATH
+//	gmchaos -serve -gmserve bin/gmserve -runs 3 -v
+//
+// Fault schedules round-trip through JSON for inspection and exact replay:
+//
+//	gmchaos -dump-schedule storm.json -seed 42   # write seed 42's schedule
+//	gmchaos -schedule storm.json -runs 20        # replay it under 20 seeds
 package main
 
 import (
@@ -48,8 +62,55 @@ func main() {
 		policy   = flag.String("policy", "", "override the scheduling policy (baseline, spindown, defer, greenmatch, mixed, edf, kchoices, cucumber)")
 		noSkip   = flag.Bool("noskip", false, "disable the simulator's event-driven slot skipping in both runs (plain determinism check instead of skip-equivalence)")
 		verbose  = flag.Bool("v", false, "print one line per seed")
+		dumpFile = flag.String("dump-schedule", "", "write the generated fault schedule for -seed to this file and exit")
+		schedule = flag.String("schedule", "", "replay this fault-schedule JSON (see -dump-schedule) instead of generating one per seed")
+		serve    = flag.Bool("serve", false, "live mode: run each seed against a real gmserve daemon over HTTP with a SIGKILL and recovery mid-replay")
+		gmserve  = flag.String("gmserve", "gmserve", "path to the gmserve binary used by -serve")
 	)
 	flag.Parse()
+
+	var sched *fault.Config
+	if *schedule != "" {
+		f, err := os.Open(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmchaos: %v\n", err)
+			os.Exit(1)
+		}
+		c, err := fault.ReadSchedule(f, 0)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmchaos: %v\n", err)
+			os.Exit(1)
+		}
+		sched = &c
+	}
+
+	if *dumpFile != "" {
+		if err := dumpSchedule(*dumpFile, *baseSeed, *scenFile, *scale, *slots); err != nil {
+			fmt.Fprintf(os.Stderr, "gmchaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gmchaos: wrote fault schedule for seed %d to %s\n", *baseSeed, *dumpFile)
+		return
+	}
+
+	if *serve {
+		var failed int
+		for i := 0; i < *runs; i++ {
+			seed := *baseSeed + int64(i)
+			if err := serveSeed(seed, *gmserve, *scenFile, *policy, *scale, *slots, sched, *verbose); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "gmchaos: seed %d: %v\n", seed, err)
+			} else if *verbose {
+				fmt.Printf("seed %d: live recovery ok\n", seed)
+			}
+		}
+		fmt.Printf("gmchaos -serve: %d runs, %d clean, %d failed\n", *runs, *runs-failed, failed)
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	workers := *jobs
 	if workers <= 0 {
@@ -70,7 +131,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for seed := range seeds {
-				res, err := chaosSeed(seed, *scenFile, *policy, *scale, *slots, *noSkip)
+				res, err := chaosSeed(seed, *scenFile, *policy, *scale, *slots, *noSkip, sched)
 				o := outcome{seed: seed, err: err}
 				if res != nil {
 					o.faults = res.Degrade.DegradedSlots
@@ -118,7 +179,7 @@ func main() {
 // full per-slot pipeline, so every seed doubles as a skip-equivalence
 // proof over a random fault schedule; with noSkip both runs take the full
 // pipeline and the comparison degrades to a plain determinism check.
-func chaosSeed(seed int64, scenFile, policy string, scale float64, slots int, noSkip bool) (*core.Result, error) {
+func chaosSeed(seed int64, scenFile, policy string, scale float64, slots int, noSkip bool, sched *fault.Config) (*core.Result, error) {
 	cfg, err := baseConfig(seed, scenFile, scale)
 	if err != nil {
 		return nil, err
@@ -130,7 +191,12 @@ func chaosSeed(seed int64, scenFile, policy string, scale float64, slots int, no
 		}
 		cfg.Policy = pol
 	}
-	if !cfg.Faults.Enabled() {
+	if sched != nil {
+		if err := sched.Validate(cfg.Cluster.TotalNodes()); err != nil {
+			return nil, err
+		}
+		cfg.Faults = *sched
+	} else if !cfg.Faults.Enabled() {
 		cfg.Faults = fault.Generate(seed, fault.GenSpec{
 			Slots:     slots,
 			Nodes:     cfg.Cluster.TotalNodes(),
@@ -177,6 +243,33 @@ func auditedRun(cfg core.Config) (*core.Result, [32]byte, error) {
 		return res, sum, fmt.Errorf("%d conservation violations: %v", n, auditor.Violations()[0])
 	}
 	return res, sum, nil
+}
+
+// dumpSchedule generates the fault schedule a seed would run under and
+// writes it as JSON — the exact schedule, inspectable and replayable with
+// -schedule.
+func dumpSchedule(path string, seed int64, scenFile string, scale float64, slots int) error {
+	cfg, err := baseConfig(seed, scenFile, scale)
+	if err != nil {
+		return err
+	}
+	sched := cfg.Faults
+	if !sched.Enabled() {
+		sched = fault.Generate(seed, fault.GenSpec{
+			Slots:     slots,
+			Nodes:     cfg.Cluster.TotalNodes(),
+			AllowMTBF: true,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fault.WriteSchedule(f, sched); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // baseConfig builds the per-seed scenario: the given scenario file, or the

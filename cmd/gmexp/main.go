@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +79,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run() int {
+func run() (code int) {
 	if *list {
 		for _, e := range expt.All() {
 			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
@@ -109,8 +110,22 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "gmexp:", err)
 			return 1
 		}
-		defer f.Close()
-		p.AuditSink = audit.NewJSONL(f) // goroutine-safe: shared by sweep workers
+		bw := bufio.NewWriterSize(f, 1<<20)
+		p.AuditSink = audit.NewJSONL(bw) // goroutine-safe: shared by sweep workers
+		// Flush and close on every exit path — failed experiments included —
+		// so however far the suite got, the trace on disk is complete JSONL.
+		defer func() {
+			err := p.CloseSink()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gmexp:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 	// Experiment failures don't fail fast: the rest of the suite still
 	// runs and prints, the failures are aggregated into one table at the

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +29,14 @@ import (
 	"repro/internal/workload"
 )
 
+// main wraps realMain so every exit path — errors included — flushes and
+// closes the output file before the process exits (os.Exit skips defers,
+// so realMain concentrates the teardown instead).
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		kind     = flag.String("kind", "workload", "trace kind: workload | solar | wind | run")
 		in       = flag.String("in", "", "analyze an existing CSV trace instead of generating one (use with -stats)")
@@ -47,112 +55,130 @@ func main() {
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
+	var closeOut func() error
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "gmtrace:", err)
+			return 1
 		}
-		defer f.Close()
-		w = f
+		bw := bufio.NewWriterSize(f, 1<<20)
+		w = bw
+		closeOut = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
 	}
 
-	switch *kind {
-	case "workload":
-		var tr workload.Trace
-		if *in != "" {
-			f, err := os.Open(*in)
-			if err != nil {
-				fatal(err)
-			}
-			tr, err = workload.ReadCSV(f)
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			cfg := workload.Scaled(*scale)
-			cfg.Seed = *seed
-			cfg.Slots = *slots
-			var err error
-			tr, err = workload.Generate(cfg)
-			if err != nil {
-				fatal(err)
-			}
-		}
-		if *stats {
-			st := workload.ComputeStats(tr)
-			fmt.Fprintf(w, "jobs: %d  horizon: %d slots  peak concurrency: %d\n",
-				len(tr), st.Horizon, tr.PeakConcurrency())
-			for _, c := range []workload.Class{workload.Web, workload.Batch, workload.Scrub, workload.Backup, workload.Repair} {
-				fmt.Fprintf(w, "  %-7s count=%-5d cpu-hours=%.0f\n", c, st.Count[c], st.CPUHours[c])
-			}
-			fmt.Fprintf(w, "arrivals by hour of day:\n ")
-			hist := tr.ArrivalHistogram()
-			for h, n := range hist {
-				fmt.Fprintf(w, " %02d:%-4d", h, n)
-				if h%8 == 7 {
-					fmt.Fprintf(w, "\n ")
+	err := func() error {
+		switch *kind {
+		case "workload":
+			var tr workload.Trace
+			if *in != "" {
+				f, err := os.Open(*in)
+				if err != nil {
+					return err
+				}
+				tr, err = workload.ReadCSV(f)
+				f.Close()
+				if err != nil {
+					return err
+				}
+			} else {
+				cfg := workload.Scaled(*scale)
+				cfg.Seed = *seed
+				cfg.Slots = *slots
+				var err error
+				tr, err = workload.Generate(cfg)
+				if err != nil {
+					return err
 				}
 			}
-			fmt.Fprintln(w)
-			fmt.Fprintf(w, "deferrable slack histogram (slots):\n")
-			sh := tr.SlackHistogram()
-			for _, bucket := range []string{"0", "1-4", "5-12", "13-24", "25+"} {
-				fmt.Fprintf(w, "  %-6s %d\n", bucket, sh[bucket])
+			if *stats {
+				st := workload.ComputeStats(tr)
+				fmt.Fprintf(w, "jobs: %d  horizon: %d slots  peak concurrency: %d\n",
+					len(tr), st.Horizon, tr.PeakConcurrency())
+				for _, c := range []workload.Class{workload.Web, workload.Batch, workload.Scrub, workload.Backup, workload.Repair} {
+					fmt.Fprintf(w, "  %-7s count=%-5d cpu-hours=%.0f\n", c, st.Count[c], st.CPUHours[c])
+				}
+				fmt.Fprintf(w, "arrivals by hour of day:\n ")
+				hist := tr.ArrivalHistogram()
+				for h, n := range hist {
+					fmt.Fprintf(w, " %02d:%-4d", h, n)
+					if h%8 == 7 {
+						fmt.Fprintf(w, "\n ")
+					}
+				}
+				fmt.Fprintln(w)
+				fmt.Fprintf(w, "deferrable slack histogram (slots):\n")
+				sh := tr.SlackHistogram()
+				for _, bucket := range []string{"0", "1-4", "5-12", "13-24", "25+"} {
+					fmt.Fprintf(w, "  %-6s %d\n", bucket, sh[bucket])
+				}
+				return nil
 			}
-			return
-		}
-		if err := tr.WriteCSV(w); err != nil {
-			fatal(err)
-		}
-	case "solar":
-		cfg := solar.DefaultFarm(*area)
-		cfg.Profile = solar.Profile(*profile)
-		cfg.Slots = *slots
-		cfg.Seed = *seed
-		s, err := solar.Generate(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if *stats {
-			fmt.Fprintf(w, "slots: %d  peak: %v  total: %v\n", s.Slots(), s.Peak(), s.TotalEnergy(1))
-			return
-		}
-		if err := s.WriteCSV(w); err != nil {
-			fatal(err)
-		}
-	case "wind":
-		cfg := wind.DefaultFarm()
-		cfg.Count = *turbines
-		cfg.Slots = *slots
-		cfg.Seed = *seed
-		s, err := wind.Generate(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if *stats {
-			fmt.Fprintf(w, "slots: %d  peak: %v  total: %v\n", s.Slots(), s.Peak(), s.TotalEnergy(1))
-			return
-		}
-		if err := s.WriteCSV(w); err != nil {
-			fatal(err)
-		}
-	case "run":
-		slotCap := 0 // 0 = every slot; honour -slots only when given explicitly
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "slots" {
-				slotCap = *slots
+			return tr.WriteCSV(w)
+		case "solar":
+			cfg := solar.DefaultFarm(*area)
+			cfg.Profile = solar.Profile(*profile)
+			cfg.Slots = *slots
+			cfg.Seed = *seed
+			s, err := solar.Generate(cfg)
+			if err != nil {
+				return err
 			}
-		})
-		if err := runScenario(w, *scenFile, *scale, *format, *doAudit, slotCap); err != nil {
-			fatal(err)
+			if *stats {
+				fmt.Fprintf(w, "slots: %d  peak: %v  total: %v\n", s.Slots(), s.Peak(), s.TotalEnergy(1))
+				return nil
+			}
+			return s.WriteCSV(w)
+		case "wind":
+			cfg := wind.DefaultFarm()
+			cfg.Count = *turbines
+			cfg.Slots = *slots
+			cfg.Seed = *seed
+			s, err := wind.Generate(cfg)
+			if err != nil {
+				return err
+			}
+			if *stats {
+				fmt.Fprintf(w, "slots: %d  peak: %v  total: %v\n", s.Slots(), s.Peak(), s.TotalEnergy(1))
+				return nil
+			}
+			return s.WriteCSV(w)
+		case "run":
+			slotCap := 0 // 0 = every slot; honour -slots only when given explicitly
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "slots" {
+					slotCap = *slots
+				}
+			})
+			return runScenario(w, *scenFile, *scale, *format, *doAudit, slotCap)
+		default:
+			return fmt.Errorf("unknown kind %q", *kind)
 		}
-	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}()
+
+	// Flush and close the output file on every path: a failed run's partial
+	// trace must still be complete, well-formed lines on disk.
+	if closeOut != nil {
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmtrace:", err)
+		return 1
+	}
+	return 0
 }
 
-// runScenario simulates a scenario and streams its audit trace to w.
+// runScenario simulates a scenario and streams its audit trace to w. The
+// sink is closed on every path — including a failed or violating run — so
+// the partial trace is still complete lines.
 func runScenario(w io.Writer, scenFile string, scale float64, format string, doAudit bool, slotCap int) error {
 	sc := scenario.Default()
 	if scenFile != "" {
@@ -195,6 +221,9 @@ func runScenario(w io.Writer, scenFile string, scale float64, format string, doA
 	cfg.Observer = audit.Labeled(sc.Name, obs)
 
 	res, err := core.Run(cfg)
+	if cerr := audit.Close(sink); err == nil {
+		err = cerr
+	}
 	if auditor != nil {
 		for _, v := range auditor.Violations() {
 			fmt.Fprintln(os.Stderr, "gmtrace: VIOLATION:", v)
@@ -209,9 +238,4 @@ func runScenario(w io.Writer, scenFile string, scale float64, format string, doA
 		fmt.Fprintf(os.Stderr, "gmtrace: audit: %d slots checked, 0 violations\n", res.Slots)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gmtrace:", err)
-	os.Exit(1)
 }

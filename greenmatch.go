@@ -315,3 +315,27 @@ const (
 func GenerateFaults(seed int64, spec fault.GenSpec) FaultConfig {
 	return fault.Generate(seed, spec)
 }
+
+// Live scheduler: the steppable form of the simulator that cmd/gmserve
+// drives — submit jobs, inject faults and advance slots incrementally, and
+// snapshot/restore full state for crash recovery (see docs/SERVICE.md).
+type (
+	// LiveScheduler advances one slot at a time and accepts live
+	// submissions, supply overrides and fault injections between slots.
+	LiveScheduler = core.Live
+	// LiveSnapshot is a LiveScheduler's full serializable state; restoring
+	// it resumes the run bit-identically.
+	LiveSnapshot = core.LiveSnapshot
+)
+
+// NewLiveScheduler builds a live scheduler over a config. Any cfg.Trace
+// jobs are pre-submitted, so an uninterrupted live run produces exactly
+// Run's Result and audit trace.
+func NewLiveScheduler(cfg Config) (*LiveScheduler, error) { return core.NewLive(cfg) }
+
+// RestoreLiveScheduler rebuilds a live scheduler from a snapshot taken at a
+// slot boundary; the resumed run is indistinguishable from one that never
+// stopped.
+func RestoreLiveScheduler(cfg Config, snap *LiveSnapshot) (*LiveScheduler, error) {
+	return core.RestoreLive(cfg, snap)
+}

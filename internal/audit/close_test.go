@@ -1,0 +1,149 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestJSONLCloseFlushesBufferedWriter is the satellite contract: a JSONL
+// sink over a buffered writer must land its lines on Close, so a run that
+// errors out mid-suite still leaves complete JSON lines on disk.
+func TestJSONLCloseFlushesBufferedWriter(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<20) // big enough that nothing auto-flushes
+	j := NewJSONL(bw)
+	j.ObserveSlot(cleanSlot(0, 0))
+	j.ObserveSlot(cleanSlot(1, 0))
+	if buf.Len() != 0 {
+		t.Fatalf("lines escaped the buffer before Close: %d bytes", buf.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 flushed lines, got %d", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "{") || !strings.HasSuffix(ln, "}") {
+			t.Fatalf("flushed line not complete JSON: %q", ln)
+		}
+	}
+}
+
+// failWriter fails every write after the first n bytes-worth of calls.
+type failWriter struct{ calls, okCalls int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls > f.okCalls {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestJSONLCloseReportsStickyError(t *testing.T) {
+	j := NewJSONL(&failWriter{okCalls: 1})
+	j.ObserveSlot(cleanSlot(0, 0)) // succeeds
+	j.ObserveSlot(cleanSlot(1, 0)) // fails, error goes sticky
+	if err := j.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close must surface the sticky write error, got %v", err)
+	}
+}
+
+func TestCSVCloseFlushesAndReportsError(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<20)
+	c := NewCSV(bw)
+	c.ObserveSlot(cleanSlot(0, 0))
+	if buf.Len() != 0 {
+		t.Fatal("rows escaped the buffer before Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 2 {
+		t.Fatalf("want header + 1 row after flush, got %d lines", len(lines))
+	}
+
+	bad := NewCSV(&failWriter{})
+	bad.ObserveSlot(cleanSlot(0, 0))
+	if err := bad.Close(); err == nil {
+		t.Fatal("Close must surface the sticky CSV write error")
+	}
+}
+
+// TestCSVRowsAreSingleWrites pins the torn-row guarantee: header and every
+// row each reach the writer as exactly one Write call.
+func TestCSVRowsAreSingleWrites(t *testing.T) {
+	fw := &failWriter{okCalls: 1 << 30}
+	c := NewCSV(fw)
+	c.ObserveSlot(cleanSlot(0, 0))
+	c.ObserveSlot(cleanSlot(1, 0))
+	if fw.calls != 3 { // header + 2 rows
+		t.Fatalf("want 3 writes (header + 2 rows), got %d", fw.calls)
+	}
+}
+
+func TestPromCloseFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<20)
+	p := NewProm(bw)
+	if err := p.EndRun(RunTotals{Policy: "test", Slots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("exposition text escaped the buffer before Close")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "greenmatch_slots") {
+		t.Fatalf("flush lost the exposition text: %q", buf.String())
+	}
+}
+
+// closeCounter records whether Close reached it.
+type closeCounter struct {
+	collect
+	closed int
+	err    error
+}
+
+func (c *closeCounter) Close() error {
+	c.closed++
+	return c.err
+}
+
+func TestCombinatorsForwardClose(t *testing.T) {
+	a, b, c := &closeCounter{}, &closeCounter{}, &closeCounter{}
+	obs := Labeled("run", Tee(Limit(2, a), b, c))
+	if err := Close(obs); err != nil {
+		t.Fatal(err)
+	}
+	for i, cc := range []*closeCounter{a, b, c} {
+		if cc.closed != 1 {
+			t.Fatalf("observer %d closed %d times, want 1", i, cc.closed)
+		}
+	}
+}
+
+func TestCloseHelperSkipsNilAndKeepsFirstError(t *testing.T) {
+	if err := Close(nil, nil); err != nil {
+		t.Fatalf("nil observers must be skipped: %v", err)
+	}
+	if err := Close(&collect{}); err != nil {
+		t.Fatalf("non-Closer observers must be skipped: %v", err)
+	}
+	e1, e2 := errors.New("first"), errors.New("second")
+	a, b := &closeCounter{err: e1}, &closeCounter{err: e2}
+	if err := Close(a, b); err != e1 {
+		t.Fatalf("want first error %v, got %v", e1, err)
+	}
+	if a.closed != 1 || b.closed != 1 {
+		t.Fatal("an early error must not skip later Closes")
+	}
+}

@@ -53,6 +53,29 @@ func (j *JSONL) EndRun(tot RunTotals) error {
 	return j.err
 }
 
+// Close flushes the underlying writer when it is buffered and reports the
+// sticky error — called on every CLI exit path, so a trace cut short by a
+// failed or canceled run still reaches disk as complete JSON lines.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := flushWriter(j.w); err != nil && j.err == nil {
+		j.err = fmt.Errorf("audit: jsonl sink: %w", err)
+	}
+	return j.err
+}
+
+// flusher is the buffered-writer surface (bufio.Writer) the sinks flush at
+// Close.
+type flusher interface{ Flush() error }
+
+func flushWriter(w io.Writer) error {
+	if f, ok := w.(flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // csvColumns defines the CSV sink's column order.
 var csvColumns = []string{
 	"run", "slot", "policy", "slot_hours",
@@ -67,24 +90,31 @@ var csvColumns = []string{
 	"node_failures", "evictions", "coverage_ok", "failed_nodes",
 }
 
-// CSV streams slot traces as comma-separated rows with a header line. It
-// serves a single run (no locking); share runs through JSONL instead.
+// CSV streams slot traces as comma-separated rows with a header line. Each
+// row reaches the writer as a single Write, so a run dying mid-slot can
+// leave at most a missing row, never a torn one. It serves a single run (no
+// locking); share runs through JSONL instead.
 type CSV struct {
 	w      io.Writer
 	err    error
 	header bool
+	line   []byte
 }
 
 // NewCSV returns a CSV sink writing to w.
 func NewCSV(w io.Writer) *CSV { return &CSV{w: w} }
 
-func (c *CSV) write(s string) {
+// write appends to the pending line; endLine emits it as one Write.
+func (c *CSV) write(s string) { c.line = append(c.line, s...) }
+
+func (c *CSV) endLine() {
+	c.line = append(c.line, '\n')
 	if c.err == nil {
-		_, err := io.WriteString(c.w, s)
-		if err != nil {
+		if _, err := c.w.Write(c.line); err != nil {
 			c.err = fmt.Errorf("audit: csv sink: %w", err)
 		}
 	}
+	c.line = c.line[:0]
 }
 
 // ObserveSlot writes one CSV row (preceded by the header on first use).
@@ -97,7 +127,7 @@ func (c *CSV) ObserveSlot(s SlotTrace) {
 			}
 			c.write(col)
 		}
-		c.write("\n")
+		c.endLine()
 	}
 	f := strconv.FormatFloat
 	i := strconv.Itoa
@@ -129,11 +159,20 @@ func (c *CSV) ObserveSlot(s SlotTrace) {
 		}
 		c.write(cell)
 	}
-	c.write("\n")
+	c.endLine()
 }
 
 // EndRun reports any sticky write error.
 func (c *CSV) EndRun(RunTotals) error { return c.err }
+
+// Close flushes the underlying writer when it is buffered and reports the
+// sticky error.
+func (c *CSV) Close() error {
+	if err := flushWriter(c.w); err != nil && c.err == nil {
+		c.err = fmt.Errorf("audit: csv sink: %w", err)
+	}
+	return c.err
+}
 
 // Prom renders the run's cumulative account as Prometheus text-exposition
 // gauges at EndRun (per-slot values are a time series, which the exposition
@@ -181,5 +220,14 @@ func (p *Prom) EndRun(tot RunTotals) error {
 	gauge("greenmatch_jobs_submitted", "Jobs submitted.", float64(tot.Submitted))
 	gauge("greenmatch_jobs_completed", "Jobs completed.", float64(tot.Completed))
 	gauge("greenmatch_deadline_misses", "Jobs that missed their deadline.", float64(tot.DeadlineMisses))
+	return p.err
+}
+
+// Close flushes the underlying writer when it is buffered and reports the
+// sticky error.
+func (p *Prom) Close() error {
+	if err := flushWriter(p.w); err != nil && p.err == nil {
+		p.err = fmt.Errorf("audit: prom sink: %w", err)
+	}
 	return p.err
 }

@@ -157,6 +157,34 @@ type RunObserver interface {
 	EndRun(RunTotals) error
 }
 
+// Closer is an Observer that holds flushable or releasable resources — a
+// sink over a buffered writer, say. CLIs that attach sinks call Close (via
+// the Close helper) on every exit path, including failed or canceled runs,
+// so a partial trace on disk is still well-formed: complete JSONL lines,
+// complete CSV rows.
+type Closer interface {
+	Close() error
+}
+
+// Close flushes and releases every Closer among the observers (combinators
+// forward to what they wrap), returning the first error. Nil observers are
+// allowed and skipped, so `audit.Close(p.AuditSink)` is safe whether or not
+// a sink was attached.
+func Close(obs ...Observer) error {
+	var first error
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		if c, ok := o.(Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // tee fans every trace out to several observers, in order.
 type tee struct{ obs []Observer }
 
@@ -185,6 +213,9 @@ func (t *tee) EndRun(tot RunTotals) error {
 	return first
 }
 
+// Close forwards to every wrapped Closer.
+func (t *tee) Close() error { return Close(t.obs...) }
+
 // labeled stamps a run label on every trace before forwarding.
 type labeled struct {
 	run string
@@ -210,6 +241,9 @@ func (l *labeled) EndRun(tot RunTotals) error {
 	}
 	return nil
 }
+
+// Close forwards to the wrapped observer.
+func (l *labeled) Close() error { return Close(l.o) }
 
 // limit forwards only the first n traces.
 type limit struct {
@@ -240,3 +274,6 @@ func (l *limit) EndRun(tot RunTotals) error {
 	}
 	return nil
 }
+
+// Close forwards to the wrapped observer.
+func (l *limit) Close() error { return Close(l.o) }

@@ -331,6 +331,32 @@ func (b *Battery) SoC() float64 {
 // Account returns the cumulative flow accounting.
 func (b *Battery) Account() Account { return b.acct }
 
+// State is the serializable mutable state of a Battery. The chemistry spec
+// and nominal capacity are configuration, not state: a checkpointed battery
+// is restored onto a freshly constructed one of the same spec, which also
+// keeps the infinite battery's +Inf capacity out of JSON.
+type State struct {
+	// StoredWh is the current store in watt-hours.
+	StoredWh float64 `json:"stored_wh"`
+	// FadeLoss is the capacity fraction lost to fade, 0 when healthy.
+	FadeLoss float64 `json:"fade_loss,omitempty"`
+	// Account is the cumulative flow accounting.
+	Account Account `json:"account"`
+}
+
+// State captures the battery's mutable state for checkpointing.
+func (b *Battery) State() State {
+	return State{StoredWh: b.stored.Wh(), FadeLoss: b.fadeLoss, Account: b.acct}
+}
+
+// Restore overwrites the battery's mutable state with a snapshot taken by
+// State from a battery of the same spec and capacity.
+func (b *Battery) Restore(st State) {
+	b.stored = units.Energy(st.StoredWh)
+	b.fadeLoss = st.FadeLoss
+	b.acct = st.Account
+}
+
 // maxChargeEnergy returns the most input energy the battery may draw over
 // dt hours, limited by the charge C-rate and by the free usable space
 // (accounting for charging efficiency: drawing e stores e*sigma).

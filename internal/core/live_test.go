@@ -1,0 +1,354 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// liveFinalize runs a live scheduler to completion, failing the test on
+// error.
+func liveFinalize(t *testing.T, l *Live) *Result {
+	t.Helper()
+	res, err := l.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLiveMatchesRun pins the central live/batch equivalence: a Live built
+// over a config's trace and finalized produces the same Result and the
+// same audit-trace bytes as a batch Run of that config — with and without
+// a fault schedule, across the policy arena.
+func TestLiveMatchesRun(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		for _, seed := range []int64{1001, 1004, 1007} {
+			name := fmt.Sprintf("seed=%d/faults=%v", seed, withFaults)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				build := func() (Config, *bytes.Buffer) {
+					cfg := chaosConfig(seed)
+					if withFaults {
+						cfg.Faults = fault.Generate(seed, fault.GenSpec{
+							Slots: 200, Nodes: cfg.Cluster.Nodes, AllowMTBF: true,
+						})
+					}
+					var buf bytes.Buffer
+					cfg.Observer = audit.NewJSONL(&buf)
+					return cfg, &buf
+				}
+
+				bcfg, bbuf := build()
+				want := run(t, bcfg)
+
+				lcfg, lbuf := build()
+				l, err := NewLive(lcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := liveFinalize(t, l)
+
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("live result differs from batch run:\nbatch %+v\nlive  %+v", want, got)
+				}
+				if !bytes.Equal(bbuf.Bytes(), lbuf.Bytes()) {
+					t.Fatalf("live trace differs from batch run (%d vs %d bytes)",
+						bbuf.Len(), lbuf.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestLiveStepGranularityInvariant pins that how the run is sliced into
+// StepTo calls cannot matter: one slot at a time, odd strides, and one big
+// Finalize all produce identical results and bytes.
+func TestLiveStepGranularityInvariant(t *testing.T) {
+	type variant struct {
+		name string
+		step func(l *Live) error
+	}
+	variants := []variant{
+		{"finalize-only", func(l *Live) error { return nil }},
+		{"one-slot", func(l *Live) error {
+			for !l.Drained() {
+				if err := l.StepTo(l.NextSlot()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"stride-7", func(l *Live) error {
+			for !l.Drained() {
+				if err := l.StepTo(l.NextSlot() + 6); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	var wantRes *Result
+	var wantTrace []byte
+	for _, v := range variants {
+		cfg := chaosConfig(1002)
+		cfg.Faults = fault.Generate(1002, fault.GenSpec{
+			Slots: 200, Nodes: cfg.Cluster.Nodes, AllowMTBF: true,
+		})
+		var buf bytes.Buffer
+		cfg.Observer = audit.NewJSONL(&buf)
+		l, err := NewLive(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.step(l); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		res := liveFinalize(t, l)
+		if wantRes == nil {
+			wantRes, wantTrace = res, buf.Bytes()
+			continue
+		}
+		if !reflect.DeepEqual(wantRes, res) {
+			t.Fatalf("%s: result differs from %s", v.name, variants[0].name)
+		}
+		if !bytes.Equal(wantTrace, buf.Bytes()) {
+			t.Fatalf("%s: trace differs from %s", v.name, variants[0].name)
+		}
+	}
+}
+
+// TestLiveSubmitMatchesTrace pins the daemon ingestion path: a Live built
+// with an empty trace and fed the same jobs through Submit before any slot
+// executes is byte-identical to the batch run of the full trace.
+func TestLiveSubmitMatchesTrace(t *testing.T) {
+	cfg := chaosConfig(1003)
+
+	var bbuf bytes.Buffer
+	bcfg := cfg
+	bcfg.Observer = audit.NewJSONL(&bbuf)
+	want := run(t, bcfg)
+
+	lcfg := cfg
+	lcfg.Trace = nil
+	var lbuf bytes.Buffer
+	lcfg.Observer = audit.NewJSONL(&lbuf)
+	l, err := NewLive(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range cfg.Trace {
+		if err := l.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := liveFinalize(t, l)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("submitted run differs from batch run:\nbatch %+v\nlive  %+v", want, got)
+	}
+	if !bytes.Equal(bbuf.Bytes(), lbuf.Bytes()) {
+		t.Fatalf("submitted-run trace differs from batch run (%d vs %d bytes)",
+			bbuf.Len(), lbuf.Len())
+	}
+}
+
+// TestLiveSnapshotRoundTrip is the crash-recovery kernel test: run live to
+// a mid-run boundary, snapshot (through a JSON round trip, as a checkpoint
+// file would), restore into a fresh scheduler, and require the restored
+// run's Result and remaining trace bytes to complete the original exactly.
+func TestLiveSnapshotRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1001, 1005, 1006} {
+		for _, cut := range []int{1, 17, 64} {
+			t.Run(fmt.Sprintf("seed=%d/cut=%d", seed, cut), func(t *testing.T) {
+				t.Parallel()
+				build := func() (Config, *bytes.Buffer) {
+					cfg := chaosConfig(seed)
+					cfg.Faults = fault.Generate(seed, fault.GenSpec{
+						Slots: 200, Nodes: cfg.Cluster.Nodes, AllowMTBF: true,
+					})
+					var buf bytes.Buffer
+					cfg.Observer = audit.NewJSONL(&buf)
+					return cfg, &buf
+				}
+
+				cfg, buf := build()
+				l, err := NewLive(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := l.StepTo(cut - 1); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := l.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				prefix := append([]byte(nil), buf.Bytes()...)
+
+				// The original keeps running: a snapshot must not disturb it.
+				wantRes := liveFinalize(t, l)
+				wantTrace := buf.Bytes()
+
+				// Checkpoint-file fidelity: restore from the JSON encoding,
+				// not the in-memory value.
+				blob, err := json.Marshal(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var decoded LiveSnapshot
+				if err := json.Unmarshal(blob, &decoded); err != nil {
+					t.Fatal(err)
+				}
+
+				rcfg, rbuf := build()
+				r, err := RestoreLive(rcfg, &decoded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRes := liveFinalize(t, r)
+
+				if !reflect.DeepEqual(wantRes, gotRes) {
+					t.Fatalf("restored result differs:\noriginal %+v\nrestored %+v", wantRes, gotRes)
+				}
+				gotTrace := append(prefix, rbuf.Bytes()...)
+				if !bytes.Equal(wantTrace, gotTrace) {
+					t.Fatalf("restored trace differs (%d vs %d bytes)", len(wantTrace), len(gotTrace))
+				}
+			})
+		}
+	}
+}
+
+// TestLiveSnapshotWithPendingSubmissions pins that not-yet-admitted
+// submissions survive a snapshot: jobs submitted for future slots are in
+// the restored run's arrivals.
+func TestLiveSnapshotWithPendingSubmissions(t *testing.T) {
+	cfg := chaosConfig(1001)
+	late := workload.Job{
+		ID: 100000, Class: workload.Batch,
+		Submit: 80, Duration: 2, Deadline: 120, CPU: 1, RAMGB: 1,
+	}
+
+	build := func() (Config, *bytes.Buffer) {
+		c := chaosConfig(1001)
+		var buf bytes.Buffer
+		c.Observer = audit.NewJSONL(&buf)
+		return c, &buf
+	}
+
+	_ = cfg
+	lcfg, _ := build()
+	l, err := NewLive(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Submit(late); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StepTo(9); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Pending) == 0 {
+		t.Fatal("late submission missing from snapshot pending list")
+	}
+	wantRes := liveFinalize(t, l)
+	if wantRes.SLA.Submitted != len(lcfg.Trace)+1 {
+		t.Fatalf("original run admitted %d jobs, want %d", wantRes.SLA.Submitted, len(lcfg.Trace)+1)
+	}
+
+	rcfg, _ := build()
+	r, err := RestoreLive(rcfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes := liveFinalize(t, r)
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		t.Fatalf("restored result differs:\noriginal %+v\nrestored %+v", wantRes, gotRes)
+	}
+}
+
+// TestLiveInjectFault pins live fault injection: injecting the schedule's
+// events over the Live API before the run starts matches compiling them
+// into the config, and past-slot injection is rejected.
+func TestLiveInjectFault(t *testing.T) {
+	events := []fault.Event{
+		{Kind: fault.KindNodeCrash, At: 10, Nodes: []int{2}, Duration: 8},
+		{Kind: fault.KindPVDerate, At: 20, Duration: 30, Magnitude: 0.5},
+	}
+
+	bcfg := chaosConfig(1001)
+	bcfg.Faults = fault.Config{Events: events}
+	var bbuf bytes.Buffer
+	bcfg.Observer = audit.NewJSONL(&bbuf)
+	want := run(t, bcfg)
+
+	lcfg := chaosConfig(1001)
+	var lbuf bytes.Buffer
+	lcfg.Observer = audit.NewJSONL(&lbuf)
+	l, err := NewLive(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := l.InjectFault(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := liveFinalize(t, l)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("injected run differs from compiled run:\ncompiled %+v\ninjected %+v", want, got)
+	}
+	if !bytes.Equal(bbuf.Bytes(), lbuf.Bytes()) {
+		t.Fatalf("injected-run trace differs from compiled run (%d vs %d bytes)",
+			bbuf.Len(), lbuf.Len())
+	}
+}
+
+// TestLiveRejections pins the API edges: past-slot faults, submissions
+// after drain, and operations after finalize all error cleanly.
+func TestLiveRejections(t *testing.T) {
+	l, err := NewLive(chaosConfig(1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StepTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InjectFault(fault.Event{Kind: fault.KindPVDropout, At: 2, Duration: 1}); err == nil {
+		t.Error("past-slot fault injection should be rejected")
+	}
+	if err := l.Submit(workload.Job{}); err == nil {
+		t.Error("invalid job should be rejected")
+	}
+	if _, err := l.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Finished() {
+		t.Fatal("Finished() false after Finalize")
+	}
+	if err := l.Submit(workload.Job{ID: 1, Submit: 0, Duration: 1, Deadline: 5, CPU: 1}); err == nil {
+		t.Error("submit after finalize should be rejected")
+	}
+	if err := l.StepTo(1000); err == nil {
+		t.Error("step after finalize should be rejected")
+	}
+	if _, err := l.Snapshot(); err == nil {
+		t.Error("snapshot after finalize should be rejected")
+	}
+	// Finalize is idempotent.
+	if _, err := l.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -311,23 +311,42 @@ func (s *Simulator) Run() (*Result, error) {
 	maxSlot := s.lastArrival + s.cfg.MaxOverrunSlots
 	slots := 0
 	for t := 0; t <= maxSlot; t++ {
-		// Drain arrivals up to and including this slot boundary.
-		s.engine.Run(float64(t) * s.cfg.SlotHours)
-		// Quiescent slots take the event-driven fast path: per-slot work
-		// (reads, fault draws, energy settlement, SLA clocks, trace
-		// emission) still runs bit-identically, but planning, placement and
-		// the power plan — provably no-ops on a settled slot — are skipped.
-		if s.canFastForward(t, maxSlot) {
-			s.fastStep(t)
-		} else {
-			s.step(t)
-		}
+		s.runSlot(t, maxSlot)
 		slots = t + 1
-		if t >= s.lastArrival && len(s.waiting) == 0 && len(s.mandQueue) == 0 && len(s.running) == 0 {
+		if s.drained(t) {
 			break
 		}
 	}
+	return s.finalize(slots)
+}
 
+// runSlot executes one slot: drain arrivals up to and including the slot
+// boundary, then take the fast or the full path. Shared verbatim by the
+// batch loop above and the steppable Live scheduler, which is what makes a
+// live run byte-identical to a batch run over the same submissions.
+func (s *Simulator) runSlot(t, maxSlot int) {
+	s.engine.Run(float64(t) * s.cfg.SlotHours)
+	// Quiescent slots take the event-driven fast path: per-slot work
+	// (reads, fault draws, energy settlement, SLA clocks, trace
+	// emission) still runs bit-identically, but planning, placement and
+	// the power plan — provably no-ops on a settled slot — are skipped.
+	if s.canFastForward(t, maxSlot) {
+		s.fastStep(t)
+	} else {
+		s.step(t)
+	}
+}
+
+// drained reports whether the run is complete after executing slot t: every
+// known arrival is in and all queues are empty.
+func (s *Simulator) drained(t int) bool {
+	return t >= s.lastArrival && len(s.waiting) == 0 && len(s.mandQueue) == 0 && len(s.running) == 0
+}
+
+// finalize closes the books after the last executed slot and assembles the
+// Result: straggler accounting, battery account folding, conservation
+// checks, and the observer's end-of-run totals.
+func (s *Simulator) finalize(slots int) (*Result, error) {
 	// Stragglers that never completed are deadline misses.
 	s.sla.DeadlineMisses += len(s.waiting) + len(s.mandQueue) + len(s.running)
 

@@ -48,6 +48,10 @@ type Params struct {
 	// across the sweep's concurrent workers and so must be goroutine-safe
 	// (audit.NewJSONL is; the CSV sink and the Auditor are not — the
 	// harness gives each run its own Auditor for exactly that reason).
+	// The sink's lifetime belongs to whoever attached it: call CloseSink
+	// on every exit path — experiment failures and cancellations included
+	// — so a partial trace behind a buffered writer still lands on disk
+	// as complete lines.
 	AuditSink audit.Observer
 	// NoSkip forces the simulator's full per-slot pipeline on every run
 	// (core.Config.DisableSlotSkipping), the gmexp/gmchaos -noskip escape
@@ -74,6 +78,14 @@ func (p Params) instrument(run string, cfg core.Config) core.Config {
 		cfg.Observer = audit.Labeled(run, audit.Tee(obs...))
 	}
 	return cfg
+}
+
+// CloseSink flushes and releases the attached AuditSink (a no-op when none
+// is attached or the sink holds no resources). Callers that attach a sink
+// over a buffered writer must call this on every exit path, including
+// failed runs — it is what makes an aborted sweep's partial trace valid.
+func (p Params) CloseSink() error {
+	return audit.Close(p.AuditSink)
 }
 
 func (p Params) scale() float64 {

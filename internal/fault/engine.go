@@ -2,6 +2,7 @@ package fault
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 
 	"repro/internal/rng"
@@ -60,6 +61,67 @@ func NewEngine(cfg Config, seed int64, slotHours float64) *Engine {
 
 // Config returns the schedule the engine was compiled from.
 func (e *Engine) Config() Config { return e.cfg }
+
+// AddEvent appends a scheduled event to a running engine (live fault
+// injection). The event must validate against the node count; a first
+// crash-storm event lazily creates the storm stream, exactly as NewEngine
+// would have, so a schedule grown live and a schedule compiled whole draw
+// identical victim permutations.
+func (e *Engine) AddEvent(ev Event, nodes int) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	if nodes > 0 && ev.Kind == KindNodeCrash {
+		for _, n := range ev.Nodes {
+			if n >= nodes {
+				return fmt.Errorf("fault: node-crash target %d outside cluster of %d", n, nodes)
+			}
+		}
+	}
+	e.cfg.Events = append(e.cfg.Events, ev)
+	if ev.Kind == KindCrashStorm && e.storm == nil {
+		e.storm = rng.New(e.seed, "fault-storm")
+	}
+	return nil
+}
+
+// EngineState is the serializable mutable state of an Engine: the schedule
+// (which live injection may have grown past the compiled Config) plus the
+// positions of the two crash streams. Everything else the engine computes
+// is a pure function of (Config, seed, slot).
+type EngineState struct {
+	Config     Config `json:"config"`
+	MTBFDraws  uint64 `json:"mtbf_draws,omitempty"`
+	StormDraws uint64 `json:"storm_draws,omitempty"`
+}
+
+// State captures the engine for checkpointing.
+func (e *Engine) State() EngineState {
+	st := EngineState{Config: e.cfg}
+	if e.mtbf != nil {
+		st.MTBFDraws = e.mtbf.Draws()
+	}
+	if e.storm != nil {
+		st.StormDraws = e.storm.Draws()
+	}
+	return st
+}
+
+// RestoreEngine rebuilds an engine from a snapshot taken by State, with the
+// same seed and slot width it was originally compiled with.
+func RestoreEngine(st EngineState, seed int64, slotHours float64) *Engine {
+	e := NewEngine(st.Config, seed, slotHours)
+	if e == nil {
+		return nil
+	}
+	if e.mtbf != nil {
+		e.mtbf.Skip(st.MTBFDraws)
+	}
+	if e.storm != nil {
+		e.storm.Skip(st.StormDraws)
+	}
+	return e
+}
 
 // Crashes returns the node crashes ordered for slot t. healthyPowered must
 // list the currently healthy, powered node IDs in node order — the MTBF

@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file gives fault schedules a stable on-disk form. A Config is
+// already a declarative JSON-tagged value; WriteSchedule/ReadSchedule pin
+// the round trip (indented dump, strict load, validation on the way in) so
+// a generated chaos schedule can be inspected, edited and replayed exactly
+// — `gmchaos -dump-schedule` writes one, `gmchaos -schedule` reads it back.
+
+// WriteSchedule dumps a fault schedule as indented JSON.
+func WriteSchedule(w io.Writer, c Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("fault: encoding schedule: %w", err)
+	}
+	return nil
+}
+
+// ReadSchedule loads a fault schedule dumped by WriteSchedule. Unknown
+// fields are rejected (a typo'd key must not silently disable a fault), and
+// the schedule is validated; pass nodes > 0 to also bound explicit crash
+// targets against the cluster size.
+func ReadSchedule(r io.Reader, nodes int) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("fault: decoding schedule: %w", err)
+	}
+	if err := c.Validate(nodes); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

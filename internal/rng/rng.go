@@ -20,8 +20,32 @@ import (
 // stream per goroutine or per model component.
 type Stream struct {
 	r    *rand.Rand
+	src  *countingSource
 	name string
 }
+
+// countingSource wraps the underlying rand.Source64 and counts how many
+// times it is stepped. math/rand's generator advances exactly one state
+// step per Int63 or Uint64 call (Int63 is Uint64 masked to 63 bits), so
+// the count fully determines the generator state given the seed: a stream
+// can be checkpointed as (seed, name, draws) and restored by fast-forward.
+// Delegation is transparent — wrapping changes no drawn values.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // New returns the sub-stream of root seed `seed` identified by `name`.
 // Streams with different names are statistically independent for the
@@ -30,11 +54,35 @@ func New(seed int64, name string) *Stream {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
 	sub := int64(h.Sum64()) ^ (seed * 0x4F1BBCDCBFA53E0B)
-	return &Stream{r: rand.New(rand.NewSource(sub)), name: name}
+	src := &countingSource{src: rand.NewSource(sub).(rand.Source64)}
+	return &Stream{r: rand.New(src), src: src, name: name}
+}
+
+// Restore rebuilds the sub-stream (seed, name) advanced past its first
+// `draws` source steps, so the next sample equals what the original stream
+// would have produced after consuming that many draws. Restore(seed, name,
+// s.Draws()) is the checkpoint/restore round trip.
+func Restore(seed int64, name string, draws uint64) *Stream {
+	s := New(seed, name)
+	s.Skip(draws)
+	return s
 }
 
 // Name returns the stream's name, useful in error messages.
 func (s *Stream) Name() string { return s.name }
+
+// Draws returns how many source steps the stream has consumed. Together
+// with the (seed, name) pair passed to New it is a complete serialization
+// of the stream's state.
+func (s *Stream) Draws() uint64 { return s.src.n }
+
+// Skip advances the stream by n source steps without using the values.
+func (s *Stream) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.src.Uint64()
+	}
+	s.src.n += n
+}
 
 // Float64 returns a uniform draw in [0,1).
 func (s *Stream) Float64() float64 { return s.r.Float64() }

@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryRecoversTransientFailure pins the happy path: a point that
+// fails its first attempts and then succeeds reports success, on both the
+// inline and the pooled execution paths.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 8
+			attempts := make([]atomic.Int32, n)
+			jobs := make([]Job, n)
+			for i := range jobs {
+				i := i
+				jobs[i] = Job{
+					Label: fmt.Sprintf("point %d", i),
+					Run: func() (any, error) {
+						if attempts[i].Add(1) <= 2 {
+							return nil, fmt.Errorf("transient glitch")
+						}
+						return i * 10, nil
+					},
+				}
+			}
+			outs := Sweep(jobs, Options{Workers: workers, Retries: 2})
+			if err := Errs(outs); err != nil {
+				t.Fatal(err)
+			}
+			for i, o := range outs {
+				if o.Value != i*10 {
+					t.Fatalf("point %d: value %v, want %d", i, o.Value, i*10)
+				}
+				if got := attempts[i].Load(); got != 3 {
+					t.Fatalf("point %d ran %d times, want 3", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryExhaustionKeepsLastError pins the failure path: the retry
+// budget drains and the final attempt's error lands in the slot.
+func TestRetryExhaustionKeepsLastError(t *testing.T) {
+	var attempts atomic.Int32
+	outs := Sweep([]Job{{
+		Label: "doomed",
+		Run: func() (any, error) {
+			return nil, fmt.Errorf("attempt %d failed", attempts.Add(1))
+		},
+	}}, Options{Workers: 1, Retries: 3})
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("job ran %d times, want 4 (1 + 3 retries)", got)
+	}
+	if outs[0].Err == nil || outs[0].Err.Error() != "attempt 4 failed" {
+		t.Fatalf("slot holds %v, want the final attempt's error", outs[0].Err)
+	}
+}
+
+// TestRetryPreservesTimeoutError pins the Timeout composition: every
+// attempt gets the full per-point budget, and when the last one also
+// overruns, the recorded error is still a *TimeoutError.
+func TestRetryPreservesTimeoutError(t *testing.T) {
+	var attempts atomic.Int32
+	block := make(chan struct{})
+	defer close(block)
+	outs := Sweep([]Job{{
+		Label: "wedged",
+		Run: func() (any, error) {
+			attempts.Add(1)
+			<-block
+			return nil, nil
+		},
+	}}, Options{Workers: 1, Timeout: 20 * time.Millisecond, Retries: 2})
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("job started %d times, want 3", got)
+	}
+	var te *TimeoutError
+	if !errors.As(outs[0].Err, &te) {
+		t.Fatalf("slot holds %T (%v), want *TimeoutError", outs[0].Err, outs[0].Err)
+	}
+	if te.After != 20*time.Millisecond {
+		t.Fatalf("timeout error reports %v", te.After)
+	}
+}
+
+// TestRetryPanicsAreRetried pins that a panicking attempt consumes retry
+// budget like any failure and can recover on a later attempt.
+func TestRetryPanicsAreRetried(t *testing.T) {
+	var attempts atomic.Int32
+	outs := Sweep([]Job{{
+		Label: "flappy",
+		Run: func() (any, error) {
+			if attempts.Add(1) == 1 {
+				panic("first run explodes")
+			}
+			return "fine", nil
+		},
+	}}, Options{Workers: 1, Retries: 1})
+	if err := Errs(outs); err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Value != "fine" || attempts.Load() != 2 {
+		t.Fatalf("got %v after %d attempts", outs[0].Value, attempts.Load())
+	}
+}
+
+// TestRetryNeverRetriesCancellation pins the Context composition: a
+// canceled point is terminal regardless of remaining retry budget.
+func TestRetryNeverRetriesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int32
+	outs := Sweep([]Job{{
+		Label: "canceled",
+		Run: func() (any, error) {
+			attempts.Add(1)
+			cancel()
+			// Fail after canceling: without the cancellation check this
+			// would be retried 5 more times.
+			return nil, fmt.Errorf("died during cancellation")
+		},
+	}}, Options{Workers: 1, Retries: 5, Context: ctx})
+	if outs[0].Err == nil {
+		t.Fatal("canceled point reported success")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("canceled point ran %d times, want 1", got)
+	}
+}
+
+// TestRetryBackoffDelays pins the exponential schedule: with base b the
+// retries wait b then 2b, so a two-retry point takes at least 3b.
+func TestRetryBackoffDelays(t *testing.T) {
+	const base = 15 * time.Millisecond
+	start := time.Now()
+	outs := Sweep([]Job{{
+		Label: "slow to recover",
+		Run:   func() (any, error) { return nil, fmt.Errorf("nope") },
+	}}, Options{Workers: 1, Retries: 2, BackoffBase: base})
+	if outs[0].Err == nil {
+		t.Fatal("expected failure")
+	}
+	if elapsed := time.Since(start); elapsed < 3*base {
+		t.Fatalf("retries completed in %v, want >= %v of backoff", elapsed, 3*base)
+	}
+}
+
+// TestRetryBackoffAbortsOnCancel pins that cancellation interrupts the
+// backoff sleep and the slot keeps the real error, not the cancellation.
+func TestRetryBackoffAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var attempts atomic.Int32
+	start := time.Now()
+	go func() {
+		// Cancel while the retry loop is asleep in its hour-long backoff.
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	outs := Sweep([]Job{{
+		Label: "glitchy",
+		Run: func() (any, error) {
+			attempts.Add(1)
+			return nil, fmt.Errorf("real failure")
+		},
+	}}, Options{Workers: 1, Retries: 3, BackoffBase: time.Hour, Context: ctx})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("backoff ignored cancellation for %v", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("point ran %d times, want 1", got)
+	}
+	if outs[0].Err == nil || outs[0].Err.Error() != "real failure" {
+		t.Fatalf("slot holds %v, want the attempt's own error", outs[0].Err)
+	}
+}

@@ -27,6 +27,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -109,6 +110,21 @@ type Options struct {
 	// flight is abandoned mid-run. Nil means context.Background() (never
 	// canceled).
 	Context context.Context
+	// Retries re-runs a failed point up to this many additional times
+	// before recording its error — opt-in cover for transient failures
+	// (an overloaded box pushing a point past its Timeout, a flaky
+	// filesystem under an output sink). Zero, the default, keeps the
+	// strict one-shot behaviour. Retrying composes with Timeout (each
+	// attempt gets the full per-point budget; a point whose final attempt
+	// times out still records a *TimeoutError) and with Context
+	// (cancellation is never retried and aborts the backoff sleep). Sweep
+	// jobs are already required to be side-effect free on shared state,
+	// which is what makes re-running them safe.
+	Retries int
+	// BackoffBase is the delay before the first retry, doubling on each
+	// subsequent one (base, 2*base, 4*base, ...). Zero retries
+	// immediately.
+	BackoffBase time.Duration
 }
 
 // ResolveWorkers returns the effective worker count for the options (always
@@ -161,15 +177,15 @@ func Sweep(jobs []Job, opts Options) []Outcome {
 		return
 	}
 
-	runOne := func(i int) {
+	// attempt runs the job once under the per-point timeout and sweep
+	// context, returning the outcome by value.
+	attempt := func(i int) Outcome {
 		if err := ctx.Err(); err != nil {
-			out[i] = Outcome{Label: jobs[i].Label,
+			return Outcome{Label: jobs[i].Label,
 				Err: fmt.Errorf("runner: job %q canceled before start: %w", jobs[i].Label, err)}
-			return
 		}
 		if opts.Timeout <= 0 && ctx.Done() == nil {
-			out[i] = exec(i)
-			return
+			return exec(i)
 		}
 		done := make(chan Outcome, 1) // buffered: an abandoned job parks its result and exits
 		go func() { done <- exec(i) }()
@@ -181,14 +197,32 @@ func Sweep(jobs []Job, opts Options) []Outcome {
 		}
 		select {
 		case o := <-done:
-			out[i] = o
+			return o
 		case <-expired:
-			out[i] = Outcome{Label: jobs[i].Label,
+			return Outcome{Label: jobs[i].Label,
 				Err: &TimeoutError{Label: jobs[i].Label, After: opts.Timeout}}
 		case <-ctx.Done():
-			out[i] = Outcome{Label: jobs[i].Label,
+			return Outcome{Label: jobs[i].Label,
 				Err: fmt.Errorf("runner: job %q canceled: %w", jobs[i].Label, ctx.Err())}
 		}
+	}
+
+	runOne := func(i int) {
+		o := attempt(i)
+		backoff := opts.BackoffBase
+		for k := 0; k < opts.Retries && o.Err != nil; k++ {
+			// Cancellation is terminal, not transient: retrying it would
+			// just spin until the retry budget drains.
+			if errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded) {
+				break
+			}
+			if !sleepBackoff(ctx, backoff) {
+				break
+			}
+			backoff *= 2
+			o = attempt(i)
+		}
+		out[i] = o
 	}
 
 	if workers == 1 {
@@ -217,6 +251,23 @@ func Sweep(jobs []Job, opts Options) []Outcome {
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// sleepBackoff waits for the backoff delay, returning false when the sweep
+// context is canceled first (the retry loop then stops with the last real
+// error, not a cancellation).
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Errs collects the non-nil errors of a sweep into one error (nil when the

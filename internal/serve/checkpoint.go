@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// checkpointFile is the on-disk envelope: the payload bytes plus their
+// sha256, so a checkpoint corrupted on disk (partial write, bit rot) is
+// detected and recovery falls back to the previous one. The payload stays
+// a RawMessage in the envelope so the digest is computed over the exact
+// bytes that were decoded.
+type checkpointFile struct {
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Checkpoint is a full durable snapshot of the service state between two
+// journal entries. Recovery restores it and replays only journal entries
+// with Seq > Checkpoint.Seq.
+type Checkpoint struct {
+	// Seq is the last journal sequence number applied before the snapshot
+	// was taken.
+	Seq uint64 `json:"seq"`
+	// AuditOffset is the audit sink's byte length at the snapshot: on
+	// recovery the audit file is truncated here and the journal tail replay
+	// re-emits everything after, keeping the file's bytes identical to an
+	// uninterrupted run's.
+	AuditOffset int64 `json:"audit_offset"`
+	// Init is the originating init request (nil before init).
+	Init *InitRequest `json:"init,omitempty"`
+	// Snapshot is the scheduler state (nil before init).
+	Snapshot *core.LiveSnapshot `json:"snapshot,omitempty"`
+	// Overrides is the live supply-override table, watts by slot.
+	Overrides map[int]float64 `json:"overrides,omitempty"`
+	// Idem is the idempotency table: stored response by request key.
+	Idem map[string]json.RawMessage `json:"idem,omitempty"`
+}
+
+const (
+	checkpointName = "checkpoint.json"
+	checkpointPrev = "checkpoint.json.prev"
+)
+
+// writeCheckpoint atomically persists a checkpoint under dir: the new file
+// is written to a temp name, synced, and renamed into place, with the
+// previous checkpoint kept as a fallback for recovery.
+func writeCheckpoint(dir string, cp Checkpoint) error {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("serve: encoding checkpoint: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	blob, err := json.Marshal(checkpointFile{
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: encoding checkpoint envelope: %w", err)
+	}
+	path := filepath.Join(dir, checkpointName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: closing checkpoint: %w", err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, filepath.Join(dir, checkpointPrev)); err != nil {
+			return fmt.Errorf("serve: rotating checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint returns the newest intact checkpoint under dir, or ok
+// false when none exists (or all are corrupt — recovery then replays the
+// journal from the start).
+func loadCheckpoint(dir string) (Checkpoint, bool) {
+	for _, name := range []string{checkpointName, checkpointPrev} {
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var env checkpointFile
+		if err := json.Unmarshal(blob, &env); err != nil {
+			continue
+		}
+		sum := sha256.Sum256(env.Payload)
+		if hex.EncodeToString(sum[:]) != env.SHA256 {
+			continue
+		}
+		var cp Checkpoint
+		if err := json.Unmarshal(env.Payload, &cp); err != nil {
+			continue
+		}
+		return cp, true
+	}
+	return Checkpoint{}, false
+}

@@ -1,0 +1,138 @@
+// Package serve is the crash-recoverable live scheduler service behind
+// gmserve: a core.Live scheduler wrapped in a write-ahead journal, periodic
+// state checkpoints and an HTTP API. Every state-mutating request is
+// appended (and optionally fsynced) to the journal before it is applied, a
+// checkpoint periodically snapshots the full scheduler state, and recovery
+// restores the latest checkpoint and replays the journal tail — so a
+// SIGKILL at any point between requests is invisible: the recovered
+// daemon's audit trace and final Result are byte-identical to an
+// uninterrupted run's, which the live chaos harness (gmchaos -serve) and
+// the crash-recovery property suite both pin by sha256.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Entry is one journaled state mutation. Seq numbers are contiguous from 1;
+// CRC covers (Seq, Kind, Data) and guards against torn tail writes: on
+// recovery the journal is scanned until the first entry that fails to
+// parse, fails its CRC or breaks the sequence, and the file is truncated
+// there — everything before is exactly the mutations that were applied (or
+// were about to be).
+type Entry struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data,omitempty"`
+	CRC  uint32          `json:"crc"`
+}
+
+// entryCRC computes the integrity checksum of an entry's identifying
+// fields.
+func entryCRC(seq uint64, kind string, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seq)
+	_, _ = h.Write(buf[:])
+	_, _ = io.WriteString(h, kind)
+	_, _ = h.Write(data)
+	return h.Sum32()
+}
+
+// Journal is an append-only JSONL write-ahead log. Not safe for concurrent
+// use; the serve runner serializes all access behind its apply loop.
+type Journal struct {
+	f     *os.File
+	next  uint64 // next sequence number to assign
+	fsync bool
+}
+
+// OpenJournal opens (creating if absent) the journal at path, scans any
+// existing entries, discards a torn tail, and returns the journal
+// positioned for appending plus the intact entries in order. With fsync
+// set, every append is synced to stable storage before returning — the
+// durability the write-ahead contract wants; tests turn it off for speed.
+func OpenJournal(path string, fsync bool) (*Journal, []Entry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	var entries []Entry
+	var good int64 // byte offset after the last intact entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break
+		}
+		if e.Seq != uint64(len(entries))+1 || e.CRC != entryCRC(e.Seq, e.Kind, e.Data) {
+			break
+		}
+		entries = append(entries, e)
+		good += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: scanning journal: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: seeking journal: %w", err)
+	}
+	return &Journal{f: f, next: uint64(len(entries)) + 1, fsync: fsync}, entries, nil
+}
+
+// Append journals one mutation and makes it durable (when fsync is on)
+// before returning, handing back the assigned sequence number. The caller
+// applies the mutation only after Append returns — write-ahead, not
+// write-behind.
+func (j *Journal) Append(kind string, data any) (uint64, error) {
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return 0, fmt.Errorf("serve: encoding journal entry %s: %w", kind, err)
+		}
+		raw = b
+	}
+	e := Entry{Seq: j.next, Kind: kind, Data: raw, CRC: entryCRC(j.next, kind, raw)}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("serve: encoding journal entry %s: %w", kind, err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return 0, fmt.Errorf("serve: appending journal entry %s: %w", kind, err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return 0, fmt.Errorf("serve: syncing journal: %w", err)
+		}
+	}
+	j.next++
+	return j.next - 1, nil
+}
+
+// NextSeq returns the sequence number the next Append will assign.
+func (j *Journal) NextSeq() uint64 { return j.next }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -123,6 +123,23 @@ func (d *Distribution) Summarize() Summary {
 	}
 }
 
+// State returns a copy of the observations in their current internal order
+// plus the running sum, a complete serialization of the distribution.
+// Capturing the order (rather than a canonical sorted form) matters because
+// Mean divides the incrementally accumulated sum: restoring values and sum
+// verbatim keeps every later statistic bit-identical to an uninterrupted
+// accumulation.
+func (d *Distribution) State() (values []float64, sum float64) {
+	return append([]float64(nil), d.values...), d.sum
+}
+
+// RestoreState overwrites the distribution with a snapshot taken by State.
+func (d *Distribution) RestoreState(values []float64, sum float64) {
+	d.values = append(d.values[:0], values...)
+	d.sorted = false
+	d.sum = sum
+}
+
 func (d *Distribution) ensureSorted() {
 	if !d.sorted {
 		sort.Float64s(d.values)
