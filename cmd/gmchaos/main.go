@@ -77,7 +77,7 @@ func main() {
 			os.Exit(1)
 		}
 		c, err := fault.ReadSchedule(f, 0)
-		f.Close()
+		_ = f.Close() // read-only handle
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gmchaos: %v\n", err)
 			os.Exit(1)
@@ -266,7 +266,7 @@ func dumpSchedule(path string, seed int64, scenFile string, scale float64, slots
 		return err
 	}
 	if err := fault.WriteSchedule(f, sched); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -281,7 +281,7 @@ func baseConfig(seed int64, scenFile string, scale float64) (core.Config, error)
 			return core.Config{}, err
 		}
 		sc, err := scenario.Read(f)
-		f.Close()
+		_ = f.Close() // read-only handle
 		if err != nil {
 			return core.Config{}, err
 		}

@@ -43,7 +43,7 @@ func liveScenario(seed int64, scenFile, policy string, scale float64, slots int,
 			return scenario.Scenario{}, err
 		}
 		sc, err = scenario.Read(f)
-		f.Close()
+		_ = f.Close() // read-only handle
 		if err != nil {
 			return scenario.Scenario{}, err
 		}
@@ -105,7 +105,7 @@ func startDaemon(bin, dir string, verbose bool) (*daemon, error) {
 			d.url = "http://" + strings.TrimSpace(string(blob))
 			resp, err := http.Get(d.url + "/readyz")
 			if err == nil {
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				if resp.StatusCode == http.StatusOK {
 					return d, nil
 				}
@@ -167,7 +167,7 @@ func (d *daemon) post(path string, body any, headers map[string]string, out any)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	blob, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -186,7 +186,7 @@ func (d *daemon) get(path string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	blob, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err

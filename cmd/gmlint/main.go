@@ -1,12 +1,14 @@
 // Command gmlint is the GreenMatch domain-linter multichecker: it runs
 // the internal/lint analyzer suite (unitsafety, determinism, floateq,
-// observerhot) over the module and exits non-zero on any finding.
+// observerhot, snapstate, applypath, durabilityerr, hotalloc) over the
+// module and exits non-zero on any finding.
 //
 // Usage:
 //
 //	go run ./cmd/gmlint ./...              # whole module (the CI gate)
 //	go run ./cmd/gmlint ./internal/core    # one package
 //	go run ./cmd/gmlint -only unitsafety,floateq ./...
+//	go run ./cmd/gmlint -json ./...        # machine-readable report on stdout
 //	go run ./cmd/gmlint -list              # analyzer catalog
 //
 // Suppress a finding with a trailing or preceding comment:
@@ -19,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,9 +33,15 @@ func main() {
 }
 
 func run(args []string) int {
+	return runTo(os.Stdout, os.Stderr, args)
+}
+
+func runTo(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("gmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzer catalog and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,7 +49,7 @@ func run(args []string) int {
 	all := lint.Analyzers()
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -55,7 +64,7 @@ func run(args []string) int {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "gmlint: unknown analyzer %q (try -list)\n", name)
+				fmt.Fprintf(stderr, "gmlint: unknown analyzer %q (try -list)\n", name)
 				return 2
 			}
 			analyzers = append(analyzers, a)
@@ -64,14 +73,22 @@ func run(args []string) int {
 
 	diags, soft, err := lint.LintModule(".", fs.Args(), analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gmlint: %v\n", err)
+		fmt.Fprintf(stderr, "gmlint: %v\n", err)
 		return 2
 	}
-	for _, e := range soft {
-		fmt.Fprintf(os.Stderr, "gmlint: type error: %v\n", e)
-	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		rep := lint.NewJSONReport(analyzers, diags, soft)
+		if err := lint.WriteJSON(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "gmlint: writing report: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, e := range soft {
+			fmt.Fprintf(stderr, "gmlint: type error: %v\n", e)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 || len(soft) > 0 {
 		return 1

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // chdir moves into dir for one test, restoring the working directory on
@@ -37,6 +42,52 @@ func TestSmokeTinyModule(t *testing.T) {
 	}
 	if got := run([]string{"-only", "determinism,floateq", "./core"}); got != 1 {
 		t.Errorf("run(-only determinism,floateq ./core) = %d, want 1", got)
+	}
+	if got := run([]string{"-only", "snapstate,hotalloc", "./core"}); got != 1 {
+		t.Errorf("run(-only snapstate,hotalloc ./core) = %d, want 1 (Counter.b and Hot's make are seeded)", got)
+	}
+	if got := run([]string{"-only", "durabilityerr,applypath", "./serve"}); got != 1 {
+		t.Errorf("run(-only durabilityerr,applypath ./serve) = %d, want 1 (dropped Close and out-of-path Bump are seeded)", got)
+	}
+}
+
+// TestJSONReport pins the -json contract: a machine-readable envelope on
+// stdout, the full analyzer set listed, every seeded analyzer represented
+// with positioned diagnostics, and a clean run serializing diagnostics as
+// [] rather than null.
+func TestJSONReport(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "tinymod"))
+
+	var out, errBuf bytes.Buffer
+	if got := runTo(&out, &errBuf, []string{"-json", "./..."}); got != 1 {
+		t.Fatalf("runTo(-json ./...) = %d, want 1; stderr: %s", got, errBuf.String())
+	}
+	var rep lint.JSONReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Analyzers) != 8 {
+		t.Errorf("report lists %d analyzers, want 8: %v", len(rep.Analyzers), rep.Analyzers)
+	}
+	counts := map[string]int{}
+	for _, d := range rep.Diagnostics {
+		counts[d.Analyzer]++
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+	for _, name := range []string{"determinism", "floateq", "snapstate", "applypath", "durabilityerr", "hotalloc"} {
+		if counts[name] == 0 {
+			t.Errorf("no %s diagnostic in report; got %v", name, counts)
+		}
+	}
+
+	out.Reset()
+	if got := runTo(&out, &errBuf, []string{"-json", "./clean"}); got != 0 {
+		t.Fatalf("runTo(-json ./clean) = %d, want 0", got)
+	}
+	if !strings.Contains(out.String(), `"diagnostics": []`) {
+		t.Errorf("clean run should serialize diagnostics as [], got:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,31 @@
+// Seeded findings for the recovery-safety analyzers: snapstate, applypath
+// (the mutator side) and hotalloc.
+package core
+
+// Counter trips snapstate: field b is neither read by Snap nor written by
+// Load, and carries no ephemeral escape mark.
+//
+//gm:statemirror Snap Load
+type Counter struct {
+	a int
+	b int
+}
+
+// Snap serializes the counter (forgetting b).
+func (c *Counter) Snap() int { return c.a }
+
+// Load restores the counter (forgetting b).
+func (c *Counter) Load(v int) { c.a = v }
+
+// Bump mutates live state; external callers outside the sanctioned apply
+// function trip the applypath analyzer.
+//
+//gm:mutator
+func (c *Counter) Bump() { c.a++ }
+
+// Hot trips hotalloc: a make on a declared hot path.
+//
+//gm:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}

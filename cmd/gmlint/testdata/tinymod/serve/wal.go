@@ -1,0 +1,27 @@
+// Package serve is durability-scoped by name: seeded findings for
+// durabilityerr (a dropped Close) and applypath (a cross-package mutator
+// call outside any sanctioned apply function).
+package serve
+
+import (
+	"os"
+
+	"tinymod/core"
+)
+
+// Touch drops the Close error on a freshly written file: one durabilityerr
+// finding.
+func Touch(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// Advance calls a marked mutator from outside any sanctioned apply
+// function: one applypath finding.
+func Advance(c *core.Counter) {
+	c.Bump()
+}

@@ -59,15 +59,15 @@ func run(addr, dir string, fsync bool, ckptEvery, queue int, drain time.Duration
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		runner.Close()
+		_ = runner.Close()
 		return err
 	}
 	// The bound address is also written into the state dir so harnesses
 	// using an ephemeral port (-addr host:0) can find the daemon.
 	bound := ln.Addr().String()
 	if err := os.WriteFile(filepath.Join(dir, "addr"), []byte(bound+"\n"), 0o644); err != nil {
-		ln.Close()
-		runner.Close()
+		_ = ln.Close()
+		_ = runner.Close()
 		return err
 	}
 	log.Printf("gmserve: listening on %s (state %s)", bound, dir)
@@ -82,7 +82,7 @@ func run(addr, dir string, fsync bool, ckptEvery, queue int, drain time.Duration
 	case sig := <-sigc:
 		log.Printf("gmserve: %v, shutting down", sig)
 	case err := <-errc:
-		runner.Close()
+		_ = runner.Close()
 		return fmt.Errorf("serving: %w", err)
 	}
 

@@ -66,7 +66,7 @@ func realMain() int {
 		w = bw
 		closeOut = func() error {
 			if err := bw.Flush(); err != nil {
-				f.Close()
+				_ = f.Close()
 				return err
 			}
 			return f.Close()
@@ -83,7 +83,7 @@ func realMain() int {
 					return err
 				}
 				tr, err = workload.ReadCSV(f)
-				f.Close()
+				_ = f.Close() // read-only handle
 				if err != nil {
 					return err
 				}
@@ -187,7 +187,7 @@ func runScenario(w io.Writer, scenFile string, scale float64, format string, doA
 			return err
 		}
 		sc, err = scenario.Read(f)
-		f.Close()
+		_ = f.Close() // read-only handle
 		if err != nil {
 			return err
 		}

@@ -79,7 +79,7 @@ func main() {
 			os.Exit(2)
 		}
 		scen, serr := scenario.Read(f)
-		f.Close()
+		_ = f.Close() // read-only handle
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "greenmatch:", serr)
 			os.Exit(2)
@@ -285,8 +285,14 @@ func writeSeries(res *core.Result, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return t.WriteCSV(f)
+	if err := t.WriteCSV(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	// The close verdict is part of the write: a buffered-write failure can
+	// surface only here, and a silently truncated series file poisons every
+	// downstream plot.
+	return f.Close()
 }
 
 func maxInt(a, b int) int {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -106,5 +107,24 @@ func TestWriteSeries(t *testing.T) {
 	res.Series = nil
 	if err := writeSeries(res, path); err == nil {
 		t.Error("nil series should error")
+	}
+}
+
+func TestWriteSeriesSurfacesWriteError(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	cfg := testConfig(t, "baseline", "solar", "lithium-ion", "perfect")
+	cfg.RecordSeries = true
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /dev/full accepts the open and fails every write with ENOSPC. The
+	// failure may surface in WriteCSV or only at the final flush-on-close;
+	// either way writeSeries must report it — a silently truncated series
+	// file poisons every downstream plot.
+	if err := writeSeries(res, "/dev/full"); err == nil {
+		t.Error("writeSeries to a full device should report the write or close error")
 	}
 }

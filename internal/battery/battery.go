@@ -211,9 +211,11 @@ func (a Account) TotalLoss() units.Energy {
 }
 
 // Battery is a stateful ESD instance. The zero value is unusable; call New.
+//
+//gm:statemirror State Restore
 type Battery struct {
-	spec     Spec
-	capacity units.Energy // nominal size C
+	spec     Spec         //gm:ephemeral chemistry configuration, re-supplied by New at restore
+	capacity units.Energy // nominal size C //gm:ephemeral configuration, not state
 	fadeLoss float64      // capacity fraction lost to fade, in [0,1]; 0 when healthy
 	stored   units.Energy // current store, always in [0, DoD*(1-fadeLoss)*C]
 	acct     Account

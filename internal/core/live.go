@@ -30,6 +30,7 @@ import (
 // Like the Simulator it wraps, a Live is single-use and not safe for
 // concurrent use; the serve layer serializes all access behind one apply
 // loop.
+//gm:statemirror Snapshot RestoreLive
 type Live struct {
 	sim *Simulator
 	// next is the next slot index to execute.
@@ -42,11 +43,11 @@ type Live struct {
 	// submission order — the heap holds closures, which cannot be
 	// serialized, so Snapshot reads this list instead.
 	pending []pendingArrival
-	pendSeq uint64
+	pendSeq uint64 //gm:ephemeral restart-relative heap keys, reassigned while re-arming Pending
 
-	finished bool
-	result   *Result
-	ferr     error
+	finished bool    //gm:ephemeral terminal latch; Snapshot rejects a finalized scheduler
+	result   *Result //gm:ephemeral set by Finalize only, after which no snapshot is taken
+	ferr     error   //gm:ephemeral set by Finalize only, after which no snapshot is taken
 }
 
 // pendingArrival is one not-yet-admitted submission.
@@ -94,6 +95,8 @@ func (l *Live) BatterySoC() float64 { return l.sim.bat.SoC() }
 // drained or finalized run rejects submissions — the batch semantics the
 // live/batch equivalence is pinned against cannot represent work arriving
 // after the run drained.
+//
+//gm:mutator
 func (l *Live) Submit(j workload.Job) error {
 	if l.finished {
 		return fmt.Errorf("core: submit after finalize")
@@ -144,6 +147,8 @@ func (l *Live) dropPending(key uint64) {
 // InjectFault adds a scheduled fault event to the running engine, creating
 // the engine if the run was configured fault-free. The event must target a
 // future slot: the past is already settled.
+//
+//gm:mutator
 func (l *Live) InjectFault(ev fault.Event) error {
 	if l.finished {
 		return fmt.Errorf("core: fault injection after finalize")
@@ -173,6 +178,8 @@ func (l *Live) InjectFault(ev fault.Event) error {
 // StepTo executes slots up to and including target, stopping early if the
 // run drains or the overrun budget past the last arrival is exhausted —
 // exactly where the batch loop would stop.
+//
+//gm:mutator
 func (l *Live) StepTo(target int) error {
 	if l.finished {
 		return fmt.Errorf("core: step after finalize")
@@ -196,6 +203,8 @@ func (l *Live) StepTo(target int) error {
 // Finalize runs the remaining slots (to drain or to the overrun bound) and
 // closes the books, returning the Result a batch Run over the same
 // submissions would have produced. Idempotent.
+//
+//gm:mutator
 func (l *Live) Finalize() (*Result, error) {
 	if l.finished {
 		return l.result, l.ferr

@@ -19,6 +19,7 @@ import (
 )
 
 // jobState is the simulator-side lifecycle record of one job.
+//gm:statemirror snapJobs unsnapJobs
 type jobState struct {
 	job         workload.Job
 	remaining   int
@@ -36,7 +37,7 @@ type jobState struct {
 	// the queues in the same slot. It replaces the per-slot ID-keyed map
 	// sets the slot loop used to allocate, and is never meaningful across
 	// slot boundaries.
-	mark bool
+	mark bool //gm:ephemeral per-slot scratch, never meaningful across slot boundaries
 }
 
 // Result is the outcome of one simulation run.
@@ -83,12 +84,13 @@ type Result struct {
 }
 
 // Simulator executes one configured run. Create with New, execute with Run.
+//gm:statemirror Live.Snapshot RestoreLive
 type Simulator struct {
-	cfg     Config
+	cfg     Config //gm:ephemeral configuration, re-supplied by the caller at restore
 	cluster *storage.Cluster
 	bat     *battery.Battery
 	reads   *storage.ReadModel
-	engine  *simevent.Engine
+	engine  *simevent.Engine //gm:ephemeral event heap holds closures; rebuilt by New and re-armed from Pending
 
 	lastArrival int
 
@@ -96,36 +98,36 @@ type Simulator struct {
 	mandQueue []*jobState // mandatory, not yet placed
 	running   []*jobState
 
-	fullCover []storage.DiskID
+	fullCover []storage.DiskID //gm:ephemeral derived cover cache, a pure function of topology
 	// fullCoverNodeIDs is the sorted node set hosting the minimal cover.
-	fullCoverNodeIDs []int
+	fullCoverNodeIDs []int //gm:ephemeral derived cover cache, a pure function of topology
 	// coverCache memoizes CoverOnNodeMask results by powered-node set: the
 	// same node sets recur across slots and greedy set cover is the
 	// simulator's hottest path. coverKey is the reusable key scratch
 	// buffer (one byte per node), so cache hits allocate nothing.
-	coverCache map[string][]storage.DiskID
-	coverKey   []byte
+	coverCache map[string][]storage.DiskID //gm:ephemeral memoization, rebuilt on demand
+	coverKey   []byte                       //gm:ephemeral reusable key scratch
 
 	// Per-slot scratch state, sized once in New and reset — never
 	// reallocated — each slot, so the steady-state slot loop is
 	// allocation-free (asserted by the AllocsPerRun regression tests; the
 	// discipline is documented in docs/PROFILING.md). All of it is
 	// per-Simulator, keeping concurrent Runs race-free.
-	toStart     []*jobState    // start set assembled each slot
-	viewWaiting []sched.JobRef // backing array for View.Waiting
-	viewRunDef  []sched.JobRef // backing array for View.RunningDeferrable
-	waitingRefs []*jobState    // jobStates aligned with viewWaiting
-	runDefRefs  []*jobState    // jobStates aligned with viewRunDef
-	forecastBuf []units.Power  // PredictInto buffer
-	predictInto forecast.IntoPredictor
-	needed      []bool       // node id -> must be powered
-	ioNodes     []bool       // node id -> hosts an I/O-bound job
+	toStart     []*jobState    // start set assembled each slot //gm:ephemeral per-slot scratch
+	viewWaiting []sched.JobRef // backing array for View.Waiting //gm:ephemeral per-slot scratch
+	viewRunDef  []sched.JobRef // backing array for View.RunningDeferrable //gm:ephemeral per-slot scratch
+	waitingRefs []*jobState    // jobStates aligned with viewWaiting //gm:ephemeral per-slot scratch
+	runDefRefs  []*jobState    // jobStates aligned with viewRunDef //gm:ephemeral per-slot scratch
+	forecastBuf []units.Power  // PredictInto buffer //gm:ephemeral per-slot scratch
+	predictInto forecast.IntoPredictor //gm:ephemeral rebuilt by New from Config
+	needed      []bool       // node id -> must be powered //gm:ephemeral per-slot scratch
+	ioNodes     []bool       // node id -> hosts an I/O-bound job //gm:ephemeral per-slot scratch
 	keepMask    []bool       // flat disk index -> keep spinning
-	failedMask  []bool       // node id -> crashed, awaiting repair
-	cpuUtil     []float64    // node id -> CPU utilization
-	healthyPow  []int        // healthy powered node ids (fault path)
-	placer      sched.Placer // reusable FFD engine
-	placeItems  []sched.PlaceItem
+	failedMask  []bool       // node id -> crashed, awaiting repair //gm:ephemeral derived mask, rebuilt from the Repairs snapshot at restore
+	cpuUtil     []float64    // node id -> CPU utilization //gm:ephemeral per-slot scratch
+	healthyPow  []int        // healthy powered node ids (fault path) //gm:ephemeral per-slot scratch
+	placer      sched.Placer // reusable FFD engine //gm:ephemeral stateless between slots
+	placeItems  []sched.PlaceItem //gm:ephemeral per-slot scratch
 
 	acct      metrics.EnergyAccount
 	sla       metrics.SLAAccount
@@ -137,7 +139,7 @@ type Simulator struct {
 	// snapshots turn cumulative accounts into per-slot deltas; they are
 	// only maintained when obs is non-nil, so the trace layer costs one nil
 	// check per slot when disabled.
-	obs           audit.Observer
+	obs           audit.Observer //gm:ephemeral observer wiring is the caller's, re-attached via Config
 	prevSLA       metrics.SLAAccount
 	prevBat       battery.Account
 	prevBoots     int
@@ -167,15 +169,15 @@ type Simulator struct {
 	// planScratch is the reusable planning memory threaded into every
 	// policy View (View.Scratch): solver graphs, grouping arenas, start
 	// lists. Per-Simulator, so concurrent Runs never share it.
-	planScratch *sched.PlanScratch
+	planScratch *sched.PlanScratch //gm:ephemeral reusable planning scratch, meaningless across slots
 
 	// Event-driven slot skipping (see canFastForward/fastRest). skipEnabled
 	// is latched in New: the policy must guarantee a constant quiescent
 	// decision (sched.QuiescentPlanner), utilization modeling must be off,
 	// and Config.DisableSlotSkipping must be unset. quiescentDec is that
 	// constant decision, used for trace emission on skipped slots.
-	skipEnabled  bool
-	quiescentDec sched.Decision
+	skipEnabled  bool           //gm:ephemeral latched in New from Config and the policy's static contract
+	quiescentDec sched.Decision //gm:ephemeral latched in New from the policy's static contract
 	// placementSettled means the last slot changed nothing structural: no
 	// promotions, suspensions, start attempts, migrations, completions or
 	// fault transitions — so replanning this slot would reproduce the
@@ -188,16 +190,16 @@ type Simulator struct {
 	// drawValid/spunValid guard cached quiet-slot aggregates: the cluster
 	// power draw with no busy disks, the spinning-disk and powered-node
 	// counts. Invalidated by any full step, wake, or mask reapplication.
-	drawValid    bool
-	spunValid    bool
-	cachedDrawW  units.Power
-	cachedSpun   int
-	cachedPowNds int
+	drawValid    bool        //gm:ephemeral cache validity latch, starts invalid after restore
+	spunValid    bool        //gm:ephemeral cache validity latch, starts invalid after restore
+	cachedDrawW  units.Power //gm:ephemeral cached aggregate, recomputed when revalidated
+	cachedSpun   int         //gm:ephemeral cached aggregate, recomputed when revalidated
+	cachedPowNds int         //gm:ephemeral cached aggregate, recomputed when revalidated
 	// fastHorizon is the first upcoming slot with a scheduled discrete
 	// event (arrival on the event heap, scheduled crash/storm, repair due);
 	// slots strictly before it may take the fast path. Recomputed lazily
 	// whenever a full step invalidates it.
-	fastHorizon int
+	fastHorizon int //gm:ephemeral recomputed lazily; restore deliberately re-stales it
 	fastSlots   int
 }
 

@@ -22,10 +22,11 @@ type Crash struct {
 // whether the battery is functional, and what forecast the scheduler is
 // shown. An Engine is single-use and not safe for concurrent use (it owns
 // rng streams), matching the Simulator it is embedded in.
+//gm:statemirror State RestoreEngine
 type Engine struct {
 	cfg       Config
-	seed      int64
-	slotHours float64
+	seed      int64   //gm:ephemeral compile-time parameter, re-supplied by the caller at restore
+	slotHours float64 //gm:ephemeral compile-time parameter, re-supplied by the caller at restore
 
 	// mtbf is the random crash process stream. Its name and draw discipline
 	// — one Bernoulli per healthy powered node, in node order — reproduce

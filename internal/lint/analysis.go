@@ -33,6 +33,13 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// ExportFacts, optional, scans one package and records object facts
+	// (see FactStore) that Run may import from any package. The driver
+	// invokes it over the analyzed package's module-internal dependency
+	// closure before Run, so cross-package facts are visible regardless of
+	// the order packages are analyzed in. It must only export facts —
+	// Reportf from this hook would duplicate diagnostics across dependents.
+	ExportFacts func(*Pass)
 }
 
 // Pass carries one type-checked package through an Analyzer.Run.
@@ -45,6 +52,9 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checking results for Files.
 	Info *types.Info
+	// Facts is the cross-package fact store for this analysis run (nil in
+	// passes that neither export nor import facts).
+	Facts *FactStore
 
 	diags *[]Diagnostic
 }
@@ -69,19 +79,29 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzers returns the full gmlint suite in stable order.
+// Analyzers returns the full gmlint suite in stable order: the original
+// four domain analyzers followed by the recovery-safety suite.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		UnitSafety,
 		Determinism,
 		FloatEq,
 		ObserverHot,
+		SnapState,
+		ApplyPath,
+		DurabilityErr,
+		HotAlloc,
 	}
 }
 
 // Run applies the given analyzers to one loaded package and returns the
 // diagnostics that survive //lint:allow suppression, sorted by position.
+// Before any analyzer runs, every analyzer's ExportFacts hook is applied
+// over the package's module-internal dependency closure, so cross-package
+// facts (mutator annotations, state-mirror pairs) are in scope.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	store := NewFactStore()
+	exportFactsClosure(store, pkg, analyzers)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -90,6 +110,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Facts:    store,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {

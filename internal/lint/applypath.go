@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ApplyPath polices the serve layer's crash-consistency contract: every
+// live-scheduler mutation must be journaled before it is applied, which is
+// only true if all mutations flow through the single journaled apply
+// function. A mutation invoked anywhere else is acknowledged state the
+// journal cannot replay — exactly the bug class PR 8's recovery tests
+// cannot catch, because they only exercise the sanctioned path.
+//
+// Mutating methods opt in with //gm:mutator in their doc comment (Submit,
+// InjectFault, StepTo, Finalize, the supply overrides). The sanctioned
+// caller opts in with //gm:applypath. The analyzer then flags every call
+// to a mutator from any other function. Two exemptions are structural:
+//
+//   - the mutator's own package (the type implements its mutators; the
+//     boundary being policed is external callers), and
+//   - _test.go files, which gmlint never loads (IncludeTests=false) —
+//     chaos and recovery tests drive mutators directly by design.
+var ApplyPath = &Analyzer{
+	Name: "applypath",
+	Doc: "flag calls to //gm:mutator functions outside a //gm:applypath function; " +
+		"live-state mutations must flow through the journaled apply path",
+	Run:         runApplyPath,
+	ExportFacts: exportApplyPathFacts,
+}
+
+const (
+	mutatorMark   = "gm:mutator"
+	applypathMark = "gm:applypath"
+
+	factMutator = "mutator"
+)
+
+// exportApplyPathFacts records every //gm:mutator function, keyed by its
+// object, with the receiver-qualified name as the detail (for messages in
+// dependent packages).
+func exportApplyPathFacts(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasMark(fn.Doc, mutatorMark) {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			name := fn.Name.Name
+			if recv := recvTypeName(fn); recv != "" {
+				name = recv + "." + name
+			}
+			pass.ExportObjectFact(obj, factMutator, name)
+		}
+	}
+}
+
+// recvTypeName returns the receiver's type name ("Live" for *Live), or ""
+// for a package-level function.
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver
+			t = u.X
+		case *ast.Ident:
+			return u.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func runApplyPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasMark(fn.Doc, applypathMark) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := calleeObj(pass.Info, call).(*types.Func)
+				if !ok {
+					return true
+				}
+				// The defining package is exempt: Live's own methods may
+				// compose mutators, and core's recovery code rebuilds state.
+				if obj.Pkg() == pass.Pkg {
+					return true
+				}
+				if fact, ok := pass.ImportObjectFact(obj, factMutator); ok {
+					pass.Reportf(call.Pos(),
+						"call to //gm:mutator %s outside a //gm:applypath function; "+
+							"live-state mutations must be journaled before they are applied",
+						fact.Detail)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// durabilityPkgs are the package base names on the durability path: the
+// WAL/checkpoint/audit-sink layer and the CLIs that own files on disk.
+// "durabilityerr" is the analysistest fixture package.
+var durabilityPkgs = map[string]bool{
+	"serve":         true,
+	"audit":         true,
+	"durabilityerr": true,
+}
+
+// durabilityFuncs are the I/O method names whose error return carries the
+// durability verdict: a failed Write/Sync means the journal entry is not
+// on disk, a failed Close can be the first report of a failed flush, a
+// failed Truncate leaves a poisoned audit tail.
+var durabilityFuncs = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Sync":        true,
+	"Close":       true,
+	"Flush":       true,
+	"Truncate":    true,
+}
+
+// DurabilityErr flags dropped error returns from the I/O calls the
+// crash-recovery guarantee stands on. The WAL discipline (journal, fsync,
+// then apply) is void if the fsync's error is thrown away: the runner
+// acknowledges a mutation the disk never accepted, and recovery silently
+// loses it.
+//
+// In durability-path packages (internal/serve, internal/audit, the cmd
+// CLIs), a call to Write/WriteString/Sync/Close/Flush/Truncate whose error
+// result is discarded — used as an expression statement, deferred, or
+// launched with go — is a finding. Explicitly assigning the error to _ is
+// the sanctioned escape: it is visible in review and greppable. Calls on
+// bytes.Buffer and strings.Builder are exempt (their errors are
+// documented to always be nil).
+var DurabilityErr = &Analyzer{
+	Name: "durabilityerr",
+	Doc: "in durability-path packages (serve, audit, CLIs), flag ignored error returns " +
+		"from Write/Sync/Close/Flush/Truncate calls; a dropped I/O error breaks the WAL guarantee",
+	Run: runDurabilityErr,
+}
+
+// durabilityScoped reports whether the package is on the durability path.
+func durabilityScoped(path string) bool {
+	if durabilityPkgs[pkgBase(path)] {
+		return true
+	}
+	return strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+}
+
+func runDurabilityErr(pass *Pass) error {
+	if !durabilityScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDroppedErr(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				checkDroppedErr(pass, n.Call, true)
+			case *ast.GoStmt:
+				checkDroppedErr(pass, n.Call, false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedErr reports call when it is a durability I/O call whose
+// error result is being discarded.
+func checkDroppedErr(pass *Pass, call *ast.CallExpr, deferred bool) {
+	fn, ok := calleeObj(pass.Info, call).(*types.Func)
+	if !ok || !durabilityFuncs[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) || isInfallibleWriter(sig.Recv()) {
+		return
+	}
+	if deferred {
+		pass.Reportf(call.Pos(),
+			"deferred %s discards its error on the durability path; use a closure that checks it or explicitly assigns it to _",
+			fn.FullName())
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"dropped error from %s on the durability path; check it or explicitly assign it to _",
+		fn.FullName())
+}
+
+// lastResultIsError reports whether sig's final result is error.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isInfallibleWriter reports whether recv is bytes.Buffer or
+// strings.Builder (possibly behind a pointer), whose Write-family errors
+// are documented to always be nil.
+func isInfallibleWriter(recv *types.Var) bool {
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}

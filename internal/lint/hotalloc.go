@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc keeps the per-slot kernels allocation-free. The simulator's
+// throughput targets (millions of slot-steps per arena sweep) hold only
+// while the //gm:hotpath functions stay off the garbage collector's books;
+// a single composite literal or boxed interface argument reintroduces a
+// per-slot allocation that no test fails on but every benchmark pays for.
+//
+// In //gm:hotpath functions the analyzer flags the constructs that the
+// compiler must heap-allocate (or that allocate in practice):
+//
+//   - make and new
+//   - map and slice composite literals, and &T{...} literals
+//   - func literals (closure environments live on the heap)
+//   - non-constant string concatenation
+//   - interface boxing: passing or converting a non-pointer concrete
+//     value to an interface type
+//
+// Two regions are exempt: arguments to panic (a panicking slot is not a
+// hot path), and code dominated by an observer nil-check (observation-on
+// is the slow path by contract; observerhot already polices the guard).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "in //gm:hotpath functions, flag allocating constructs (make, new, map/slice/&T " +
+		"literals, closures, string concatenation, interface boxing) outside observer guards",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasMark(fn.Doc, hotpathMark) {
+				continue
+			}
+			w := &allocWalker{pass: pass, guard: &hotWalker{pass: pass}}
+			w.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+// allocWalker scans the unguarded region of one hot-path function.
+type allocWalker struct {
+	pass  *Pass
+	guard *hotWalker // reused for its observer nil-check recognizer
+	// claimed marks composite literals already reported as part of an
+	// enclosing &T{...} so they are not reported twice.
+	claimed map[ast.Node]bool
+}
+
+func (w *allocWalker) walk(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.IfStmt:
+			if w.guard.isObserverNilCheck(c.Cond) {
+				// The guarded body is the observation-on slow path. The
+				// else branch and any init statement stay on the hot path.
+				if c.Init != nil {
+					w.walk(c.Init)
+				}
+				if c.Else != nil {
+					w.walk(c.Else)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			return w.call(c)
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				if lit, ok := ast.Unparen(c.X).(*ast.CompositeLit); ok {
+					if w.claimed == nil {
+						w.claimed = map[ast.Node]bool{}
+					}
+					w.claimed[lit] = true
+					w.pass.Reportf(c.Pos(),
+						"&composite literal escapes to the heap on the hot path; hoist it and reuse")
+				}
+			}
+		case *ast.CompositeLit:
+			if !w.claimed[c] {
+				switch w.pass.Info.TypeOf(c).Underlying().(type) {
+				case *types.Map:
+					w.pass.Reportf(c.Pos(), "map literal allocates on the hot path; hoist it and reuse")
+				case *types.Slice:
+					w.pass.Reportf(c.Pos(), "slice literal allocates on the hot path; hoist the buffer and reuse")
+				}
+			}
+		case *ast.FuncLit:
+			w.pass.Reportf(c.Pos(),
+				"func literal allocates its environment on the hot path; hoist the closure or inline the logic")
+			return false
+		case *ast.BinaryExpr:
+			if c.Op == token.ADD && isStringConcat(w.pass, c) {
+				if w.claimed == nil {
+					w.claimed = map[ast.Node]bool{}
+				}
+				if !w.claimed[c] {
+					w.pass.Reportf(c.Pos(), "string concatenation allocates on the hot path")
+				}
+				// One finding per concat chain: a+b+c parses as (a+b)+c,
+				// and the parent is always visited before its operands.
+				w.claimed[ast.Unparen(c.X)] = true
+				w.claimed[ast.Unparen(c.Y)] = true
+			}
+		}
+		return true
+	})
+}
+
+// call handles make/new, the panic exemption, and interface boxing at the
+// call boundary. It returns false when the subtree should not be
+// descended further.
+func (w *allocWalker) call(call *ast.CallExpr) bool {
+	switch obj := calleeObj(w.pass.Info, call).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			w.pass.Reportf(call.Pos(), "make allocates on the hot path; hoist the buffer into the struct and reuse it")
+		case "new":
+			w.pass.Reportf(call.Pos(), "new allocates on the hot path; hoist the value and reuse it")
+		case "panic":
+			return false // a panicking slot is not a hot path
+		}
+		return true
+	}
+	// Conversion to an interface type: T(x) with interface T.
+	if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(w.pass, call.Args[0]) {
+			w.pass.Reportf(call.Pos(),
+				"conversion of %s to interface type allocates (boxing) on the hot path",
+				w.pass.Info.TypeOf(call.Args[0]))
+		}
+		return true
+	}
+	// Interface-typed parameters box concrete non-pointer arguments.
+	if sig, ok := w.pass.Info.TypeOf(call.Fun).(*types.Signature); ok && sig != nil {
+		for i, arg := range call.Args {
+			pt, ok := paramType(sig, i, call.Ellipsis.IsValid())
+			if !ok || !types.IsInterface(pt) {
+				continue
+			}
+			if boxes(w.pass, arg) {
+				w.pass.Reportf(arg.Pos(),
+					"passing %s into an interface parameter allocates (boxing) on the hot path",
+					w.pass.Info.TypeOf(arg))
+			}
+		}
+	}
+	return true
+}
+
+// paramType resolves the declared type of argument i, unwrapping the
+// variadic element type when the call does not use ... spreading.
+func paramType(sig *types.Signature, i int, ellipsis bool) (types.Type, bool) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil, false
+	}
+	last := params.Len() - 1
+	if sig.Variadic() && i >= last {
+		if ellipsis {
+			if i == last {
+				return params.At(last).Type(), true
+			}
+			return nil, false
+		}
+		s, ok := params.At(last).Type().(*types.Slice)
+		if !ok {
+			return nil, false
+		}
+		return s.Elem(), true
+	}
+	if i > last {
+		return nil, false
+	}
+	return params.At(i).Type(), true
+}
+
+// boxes reports whether passing arg to an interface-typed slot heap-boxes
+// it: its static type is concrete and not a pointer (pointers fit in the
+// interface word; interfaces and nil convert without allocating).
+func boxes(pass *Pass, arg ast.Expr) bool {
+	t := pass.Info.TypeOf(arg)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		// Single-word reference types share the pointer fast path only for
+		// pointers; chans/maps/funcs are pointers under the hood too.
+		return false
+	}
+	return true
+}
+
+// isStringConcat reports whether the + expression is a non-constant string
+// concatenation (constant folding is free).
+func isStringConcat(pass *Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

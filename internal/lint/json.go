@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding, shaped for
+// CI annotation tooling (stable field names, 1-based line/column).
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the envelope `gmlint -json` emits: the diagnostics plus any
+// type-checker soft errors, and the analyzer set that ran (so a consumer
+// can tell "clean" from "not checked").
+type JSONReport struct {
+	Analyzers   []string         `json:"analyzers"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+	TypeErrors  []string         `json:"type_errors,omitempty"`
+}
+
+// NewJSONReport assembles a report from a finished run. Diagnostics keep
+// the position-sorted order Run produced. The Diagnostics slice is always
+// non-nil so a clean run serializes as [] rather than null.
+func NewJSONReport(analyzers []*Analyzer, diags []Diagnostic, soft []error) JSONReport {
+	rep := JSONReport{Diagnostics: []JSONDiagnostic{}}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	for _, e := range soft {
+		rep.TypeErrors = append(rep.TypeErrors, e.Error())
+	}
+	return rep
+}
+
+// WriteJSON serializes the report to w, indented, with a trailing newline.
+func WriteJSON(w io.Writer, rep JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -21,10 +21,22 @@ func runFixture(t *testing.T, path string, analyzers ...*Analyzer) {
 	}
 }
 
-func TestUnitSafetyFixture(t *testing.T)  { runFixture(t, "unitsafety", UnitSafety) }
-func TestDeterminismFixture(t *testing.T) { runFixture(t, "core", Determinism) }
-func TestFloatEqFixture(t *testing.T)     { runFixture(t, "floateq", FloatEq) }
-func TestObserverHotFixture(t *testing.T) { runFixture(t, "observerhot", ObserverHot) }
+func TestUnitSafetyFixture(t *testing.T)    { runFixture(t, "unitsafety", UnitSafety) }
+func TestDeterminismFixture(t *testing.T)   { runFixture(t, "core", Determinism) }
+func TestFloatEqFixture(t *testing.T)       { runFixture(t, "floateq", FloatEq) }
+func TestObserverHotFixture(t *testing.T)   { runFixture(t, "observerhot", ObserverHot) }
+func TestSnapStateFixture(t *testing.T)     { runFixture(t, "snapstate", SnapState) }
+func TestApplyPathFixture(t *testing.T)     { runFixture(t, "applypath", ApplyPath) }
+func TestDurabilityErrFixture(t *testing.T) { runFixture(t, "durabilityerr", DurabilityErr) }
+func TestHotAllocFixture(t *testing.T)      { runFixture(t, "hotalloc", HotAlloc) }
+
+// TestMirrorDepClean proves the dependency side of the cross-package
+// fixtures is itself clean: the mirrordep/mutatordep packages carry the
+// directives but no findings.
+func TestMirrorDepClean(t *testing.T) {
+	runFixture(t, "mirrordep", Analyzers()...)
+	runFixture(t, "mutatordep", Analyzers()...)
+}
 
 // TestSinkExemption proves unitsafety skips the serialization sinks: the
 // report fixture strips units with zero want comments.
@@ -118,7 +130,7 @@ func TestAnalyzersCatalog(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := "unitsafety,determinism,floateq,observerhot"
+	want := "unitsafety,determinism,floateq,observerhot,snapstate,applypath,durabilityerr,hotalloc"
 	if got := strings.Join(names, ","); got != want {
 		t.Errorf("Analyzers() = %s, want %s", got, want)
 	}

@@ -28,6 +28,10 @@ type Package struct {
 	// TypeErrors collects type-checker soft errors. Analysis proceeds on
 	// a best-effort basis when non-empty; the driver reports them.
 	TypeErrors []error
+	// Imports lists the direct dependencies that resolved inside the
+	// module or a fixture root (standard-library imports are absent), in
+	// sorted import-path order. The fact-export phase walks this graph.
+	Imports []*Package
 }
 
 // Loader parses and type-checks packages without any dependency on
@@ -228,6 +232,23 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 		return nil, err
 	}
 	pkg.Types = tpkg
+	// Record the module/fixture-internal dependencies the type check pulled
+	// in (they are all cached by now), deterministically ordered.
+	seen := map[string]bool{}
+	var depPaths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := impPath(imp)
+			if dep, ok := l.pkgs[p]; ok && dep != pkg && !seen[p] {
+				seen[p] = true
+				depPaths = append(depPaths, p)
+			}
+		}
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		pkg.Imports = append(pkg.Imports, l.pkgs[p])
+	}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

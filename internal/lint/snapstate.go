@@ -1,0 +1,531 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapState statically proves checkpoint completeness for the structs that
+// participate in crash-recovery state mirroring. PR 8 made recovery
+// byte-identical; that guarantee dies silently the first time a stateful
+// field is added to a mirrored struct without a snapshot mirror — the
+// restored run diverges only on inputs the chaos seeds happen to miss.
+//
+// A struct opts in with a directive in its doc comment:
+//
+//	//gm:statemirror <snapshot> <restore>
+//
+// where <snapshot> and <restore> each name the function implementing that
+// side of the mirror: a method of the annotated type ("State"), a method of
+// another type in the same package ("Live.Snapshot"), or a package-level
+// function ("RestoreEngine"). For every field of the annotated struct the
+// analyzer then requires both:
+//
+//   - the field is read in the snapshot function (or a same-package
+//     function it transitively calls), and
+//   - the field is written in the restore function (assignment target,
+//     copy destination, keyed composite literal, address taken, or the
+//     receiver of another mirrored type's restore method — the last
+//     resolved through cross-package facts, so `s.bat.Restore(snap)` in
+//     internal/core counts because internal/battery declared Restore as
+//     Battery's restore side).
+//
+// Fields that are deliberately not mirrored — per-slot scratch, caches
+// rebuilt from Config, derived masks — must say so explicitly:
+//
+//	coverCache map[string][]DiskID //gm:ephemeral memoization, rebuilt on demand
+//
+// A bare //gm:ephemeral without a reason is itself a finding: unexplained
+// escapes are exactly the drift this analyzer exists to prevent.
+var SnapState = &Analyzer{
+	Name: "snapstate",
+	Doc: "for //gm:statemirror structs, require every field to be read by the snapshot " +
+		"function and written by the restore function, unless marked //gm:ephemeral <reason>",
+	Run:         runSnapState,
+	ExportFacts: exportSnapStateFacts,
+}
+
+const (
+	statemirrorMark = "gm:statemirror"
+	ephemeralMark   = "gm:ephemeral"
+
+	factMirrored = "mirrored"
+	factSnapshot = "snapshot"
+	factRestore  = "restore"
+)
+
+// mirrorPair is one resolved statemirror directive.
+type mirrorPair struct {
+	typeName string
+	named    *types.Named
+	strct    *ast.StructType
+	snapFn   *types.Func
+	restFn   *types.Func
+}
+
+// parseMirrorDirective extracts the two specifier fields from a
+// //gm:statemirror comment line, reporting malformed directives.
+func parseMirrorDirective(pass *Pass, doc *ast.CommentGroup, report bool) (snap, rest string, ok bool) {
+	for _, c := range doc.List {
+		idx := strings.Index(c.Text, statemirrorMark)
+		if idx < 0 {
+			continue
+		}
+		fields := strings.Fields(c.Text[idx+len(statemirrorMark):])
+		if len(fields) != 2 {
+			if report {
+				pass.Reportf(c.Pos(),
+					"malformed //gm:statemirror: want `//gm:statemirror <snapshotFunc> <restoreFunc>`")
+			}
+			return "", "", false
+		}
+		return fields[0], fields[1], true
+	}
+	return "", "", false
+}
+
+// mirrorPairs resolves every //gm:statemirror directive in the package.
+// When report is true (the Run phase), malformed directives and
+// unresolvable specifiers are diagnosed; the fact-export phase stays
+// silent to avoid duplicating diagnostics across dependent packages.
+func mirrorPairs(pass *Pass, report bool) []mirrorPair {
+	var pairs []mirrorPair
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc == nil || !hasMark(doc, statemirrorMark) {
+					continue
+				}
+				snapSpec, restSpec, ok := parseMirrorDirective(pass, doc, report)
+				if !ok {
+					continue
+				}
+				strct, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					if report {
+						pass.Reportf(ts.Pos(), "//gm:statemirror on non-struct type %s", ts.Name.Name)
+					}
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				pair := mirrorPair{typeName: ts.Name.Name, named: named, strct: strct}
+				pair.snapFn = resolveMirrorFunc(pass, named, snapSpec)
+				pair.restFn = resolveMirrorFunc(pass, named, restSpec)
+				if pair.snapFn == nil || pair.restFn == nil {
+					if report {
+						missing := snapSpec
+						if pair.snapFn != nil {
+							missing = restSpec
+						}
+						pass.Reportf(ts.Pos(),
+							"//gm:statemirror on %s names %q, which does not resolve to a function in this package",
+							ts.Name.Name, missing)
+					}
+					continue
+				}
+				pairs = append(pairs, pair)
+			}
+		}
+	}
+	return pairs
+}
+
+// resolveMirrorFunc resolves a directive specifier: "Method" (on the
+// annotated type, falling back to a package-level function), or
+// "Type.Method" (on another type in the package).
+func resolveMirrorFunc(pass *Pass, named *types.Named, spec string) *types.Func {
+	if recv, meth, ok := strings.Cut(spec, "."); ok {
+		obj := pass.Pkg.Scope().Lookup(recv)
+		tn, isType := obj.(*types.TypeName)
+		if !isType {
+			return nil
+		}
+		other, isNamed := tn.Type().(*types.Named)
+		if !isNamed {
+			return nil
+		}
+		return methodNamed(other, meth)
+	}
+	if m := methodNamed(named, spec); m != nil {
+		return m
+	}
+	if fn, ok := pass.Pkg.Scope().Lookup(spec).(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+func methodNamed(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// exportSnapStateFacts records the mirror topology of one package: the
+// mirrored type, its snapshot function and its restore function. Dependent
+// packages' Run phases import the restore/snapshot facts to credit nested
+// mirror calls (s.bat.Restore(...)) as field coverage.
+func exportSnapStateFacts(pass *Pass) {
+	for _, pair := range mirrorPairs(pass, false) {
+		pass.ExportObjectFact(pair.named.Obj(), factMirrored, pair.typeName)
+		pass.ExportObjectFact(pair.snapFn, factSnapshot, pair.typeName)
+		pass.ExportObjectFact(pair.restFn, factRestore, pair.typeName)
+	}
+}
+
+func runSnapState(pass *Pass) error {
+	decls := funcDeclIndex(pass)
+	for _, pair := range mirrorPairs(pass, true) {
+		checkMirrorPair(pass, pair, decls)
+	}
+	return nil
+}
+
+// funcDeclIndex maps every function/method object declared in the package
+// to its declaration, for the transitive-callee walks.
+func funcDeclIndex(pass *Pass) map[types.Object]*ast.FuncDecl {
+	idx := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fn.Name]; obj != nil {
+					idx[obj] = fn
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// checkMirrorPair verifies field coverage for one annotated struct.
+func checkMirrorPair(pass *Pass, pair mirrorPair, decls map[types.Object]*ast.FuncDecl) {
+	read := map[string]bool{}
+	written := map[string]bool{}
+	walkMirrorFunc(pass, pair, pass.Facts, decls, pair.snapFn, false, read)
+	walkMirrorFunc(pass, pair, pass.Facts, decls, pair.restFn, true, written)
+
+	for _, field := range pair.strct.Fields.List {
+		reason, marked, malformed := ephemeralReason(field)
+		if malformed != nil {
+			pass.Reportf(malformed.Pos(),
+				"malformed //gm:ephemeral: want `//gm:ephemeral <reason>` explaining why the field needs no mirror")
+			continue
+		}
+		if marked && reason != "" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if !read[name.Name] {
+				pass.Reportf(name.Pos(),
+					"field %s.%s is not read by snapshot function %s; mirror it in the snapshot or mark it //gm:ephemeral <reason>",
+					pair.typeName, name.Name, pair.snapFn.Name())
+			}
+			if !written[name.Name] {
+				pass.Reportf(name.Pos(),
+					"field %s.%s is not written by restore function %s; restore it or mark it //gm:ephemeral <reason>",
+					pair.typeName, name.Name, pair.restFn.Name())
+			}
+		}
+		// Embedded fields: covered by the spelled-out name of the type.
+		if len(field.Names) == 0 {
+			name := embeddedFieldName(field.Type)
+			if name == "" {
+				continue
+			}
+			if !read[name] {
+				pass.Reportf(field.Pos(),
+					"embedded field %s.%s is not read by snapshot function %s; mirror it in the snapshot or mark it //gm:ephemeral <reason>",
+					pair.typeName, name, pair.snapFn.Name())
+			}
+			if !written[name] {
+				pass.Reportf(field.Pos(),
+					"embedded field %s.%s is not written by restore function %s; restore it or mark it //gm:ephemeral <reason>",
+					pair.typeName, name, pair.restFn.Name())
+			}
+		}
+	}
+}
+
+// embeddedFieldName returns the implicit field name of an embedded type.
+func embeddedFieldName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// ephemeralReason scans a struct field's doc and line comments for the
+// //gm:ephemeral mark, returning the reason text. A mark with an empty
+// reason returns the offending comment for reporting.
+func ephemeralReason(field *ast.Field) (reason string, marked bool, malformed *ast.Comment) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, ephemeralMark)
+			if idx < 0 {
+				continue
+			}
+			reason = strings.TrimSpace(c.Text[idx+len(ephemeralMark):])
+			if reason == "" {
+				return "", true, c
+			}
+			return reason, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// mirrorWalker accumulates field accesses of one annotated struct across a
+// function and its same-package transitive callees.
+type mirrorWalker struct {
+	pass    *Pass
+	pair    mirrorPair
+	facts   *FactStore
+	decls   map[types.Object]*ast.FuncDecl
+	writes  bool // collecting the restore side
+	touched map[string]bool
+	visited map[types.Object]bool
+}
+
+// walkMirrorFunc drives a mirrorWalker from fn.
+func walkMirrorFunc(pass *Pass, pair mirrorPair, facts *FactStore, decls map[types.Object]*ast.FuncDecl, fn *types.Func, writes bool, touched map[string]bool) {
+	w := &mirrorWalker{
+		pass: pass, pair: pair, facts: facts, decls: decls,
+		writes: writes, touched: touched,
+		visited: map[types.Object]bool{},
+	}
+	w.walkFn(fn)
+}
+
+func (w *mirrorWalker) walkFn(fn *types.Func) {
+	if w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	decl, ok := w.decls[fn]
+	if !ok || decl.Body == nil {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !w.writes {
+				if name, ok := w.fieldOfPair(n); ok {
+					w.touched[name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if w.writes {
+				for _, lhs := range n.Lhs {
+					w.markWrites(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if w.writes {
+				w.markWrites(n.X)
+			}
+		case *ast.IndexExpr:
+			// s.field[i] where the element is a pointer: grabbing an element
+			// handle is the idiomatic in-place restore (n := c.nodes[i];
+			// n.Powered = ...). Non-pointer elements get no credit.
+			if w.writes {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					if name, ok := w.fieldOfPair(sel); ok && isPointer(w.pass.Info.TypeOf(n)) {
+						w.touched[name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, n := range s.field with pointer elements: same in-place
+			// restore idiom as indexing.
+			if w.writes && n.Value != nil && isPointer(w.pass.Info.TypeOf(n.Value)) {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					if name, ok := w.fieldOfPair(sel); ok {
+						w.touched[name] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// &x.field hands the field out for mutation: conservatively a
+			// write (and on the read side, selector inspection covers it).
+			if w.writes && n.Op.String() == "&" {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					if name, ok := w.fieldOfPair(sel); ok {
+						w.touched[name] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if w.writes {
+				w.markCompositeWrites(n)
+			}
+		case *ast.CallExpr:
+			w.handleCall(n)
+		}
+		return true
+	})
+}
+
+// isPointer reports whether t is a pointer type.
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// fieldOfPair reports whether sel selects a field of the annotated struct,
+// returning the field name.
+func (w *mirrorWalker) fieldOfPair(sel *ast.SelectorExpr) (string, bool) {
+	s, ok := w.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj() != w.pair.named.Obj() {
+		return "", false
+	}
+	// Only fields declared directly on the struct count (not promoted).
+	if len(s.Index()) != 1 {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// markWrites records fields of the pair appearing anywhere inside an
+// assignment target: `s.f = v`, `s.f.Inner = v`, `s.f[k] = v`.
+func (w *mirrorWalker) markWrites(lhs ast.Expr) {
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if name, ok := w.fieldOfPair(sel); ok {
+				w.touched[name] = true
+			}
+		}
+		return true
+	})
+}
+
+// markCompositeWrites credits keyed composite literals of the annotated
+// type: `&Engine{cfg: cfg}` writes cfg. An unkeyed literal of the type
+// writes every field.
+func (w *mirrorWalker) markCompositeWrites(lit *ast.CompositeLit) {
+	t := w.pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() != w.pair.named.Obj() {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		return
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		// Positional literal: all fields initialized.
+		for _, f := range w.pair.strct.Fields.List {
+			for _, n := range f.Names {
+				w.touched[n.Name] = true
+			}
+		}
+		return
+	}
+	for _, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				w.touched[id.Name] = true
+			}
+		}
+	}
+}
+
+// handleCall follows same-package callees, credits copy destinations, and
+// credits nested mirror calls on fields via imported facts.
+func (w *mirrorWalker) handleCall(call *ast.CallExpr) {
+	obj := calleeObj(w.pass.Info, call)
+	if obj == nil {
+		return
+	}
+	if b, ok := obj.(*types.Builtin); ok {
+		// copy(s.field, src) writes into the field's backing array.
+		if w.writes && b.Name() == "copy" && len(call.Args) == 2 {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if name, ok := w.fieldOfPair(sel); ok {
+					w.touched[name] = true
+				}
+			}
+		}
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	// s.field.Restore(...) / s.field.State() where the method is the
+	// restore/snapshot side of the field type's own mirror pair — resolved
+	// through facts, which is what lets internal/core credit mirrors
+	// declared in internal/battery, internal/storage, internal/fault.
+	if w.facts != nil {
+		want := factSnapshot
+		if w.writes {
+			want = factRestore
+		}
+		if _, isMirror := w.facts.Get(fn, w.pass.Analyzer.Name, want); isMirror {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if name, ok := w.fieldOfPair(recv); ok {
+						w.touched[name] = true
+					}
+				}
+			}
+		}
+	}
+	// Transitive same-package callees (snapJobs, NewEngine, ...). This
+	// deliberately credits constructor reuse on the restore side: a field
+	// the constructor initializes from Config is correctly "restored" by
+	// rebuilding, and the snapshot-side read requirement still forces
+	// genuinely mutable state into the snapshot.
+	if fn.Pkg() == w.pass.Pkg {
+		w.walkFn(fn)
+	}
+}

@@ -1,0 +1,45 @@
+// Fixture for the applypath analyzer: //gm:mutator calls must sit inside
+// a //gm:applypath function.
+package applypath
+
+import "mutatordep"
+
+type runner struct {
+	live *mutatordep.Live
+	seq  uint64
+}
+
+// apply is the journaled apply path: mutator calls are sanctioned here.
+//
+//gm:applypath
+func (r *runner) apply(kind string, v int) error {
+	r.seq++
+	switch kind {
+	case "submit":
+		return r.live.Submit(v)
+	case "tick":
+		return r.live.StepTo(v)
+	}
+	return nil
+}
+
+// handleDirect bypasses the journal: the mutation would be acknowledged
+// but never replayed after a crash.
+func (r *runner) handleDirect(v int) {
+	_ = r.live.Submit(v) // want "call to //gm:mutator Live.Submit outside a //gm:applypath function"
+	_ = r.live.NextSlot()
+	mutatordep.Reset(r.live) // want "call to //gm:mutator Reset outside a //gm:applypath function"
+}
+
+// peek only reads; accessors are fine anywhere.
+func (r *runner) peek() int { return r.live.NextSlot() }
+
+// localMutator is declared in this package. The defining package is
+// exempt: the boundary polices external callers.
+//
+//gm:mutator
+func localMutator(r *runner) { r.seq++ }
+
+func helper(r *runner) {
+	localMutator(r)
+}

@@ -1,0 +1,60 @@
+// Fixture for the durabilityerr analyzer. The package base name
+// "durabilityerr" is in the analyzer's scope map alongside serve/audit/cmd.
+package durabilityerr
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"strings"
+)
+
+// appendEntry drops every error on the way to disk.
+func appendEntry(f *os.File, rec []byte) {
+	f.Write(rec) // want "dropped error from \(\*os\.File\)\.Write on the durability path"
+	f.Sync()     // want "dropped error from \(\*os\.File\)\.Sync on the durability path"
+	go f.Sync()  // want "dropped error from \(\*os\.File\)\.Sync on the durability path"
+}
+
+// flushAll is careful: checked errors and explicit discards are fine.
+func flushAll(w *bufio.Writer, f *os.File) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	_ = f.Sync()
+	return f.Close()
+}
+
+// closeLater defers the close without looking at the error — the classic
+// way a failed flush-on-close vanishes.
+func closeLater(f *os.File) {
+	defer f.Close() // want "deferred \(\*os\.File\)\.Close discards its error on the durability path"
+}
+
+// closeChecked is the sanctioned deferred shape.
+func closeChecked(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// buffered writers are documented infallible: exempt.
+func buffered(rec []byte) string {
+	var b bytes.Buffer
+	b.Write(rec)
+	var sb strings.Builder
+	sb.WriteString("x")
+	return b.String() + sb.String()
+}
+
+// closer has an error-free Close: nothing to drop.
+type closer struct{}
+
+func (closer) Close() {}
+
+func shutdown(c closer) {
+	c.Close()
+}

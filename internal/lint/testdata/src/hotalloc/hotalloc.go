@@ -1,0 +1,72 @@
+// Fixture for the hotalloc analyzer: allocating constructs inside
+// //gm:hotpath functions.
+package hotalloc
+
+import "audit"
+
+type kernel struct {
+	buf    []float64
+	obs    audit.Observer
+	scale  float64
+	spread []any
+}
+
+type slotFlows struct{ green, brown float64 }
+
+// step is the per-slot kernel.
+//
+//gm:hotpath
+func (k *kernel) step(slot int, vals []float64) slotFlows {
+	if len(vals) == 0 {
+		panic("empty slot " + itoa(slot)) // panic args are exempt
+	}
+	tmp := make([]float64, len(vals)) // want "make allocates on the hot path"
+	_ = tmp
+	m := map[int]float64{} // want "map literal allocates on the hot path"
+	_ = m
+	s := []float64{1, 2} // want "slice literal allocates on the hot path"
+	_ = s
+	p := &slotFlows{green: 1} // want "&composite literal escapes to the heap on the hot path"
+	_ = p
+	f := func() float64 { return k.scale } // want "func literal allocates its environment on the hot path"
+	_ = f
+	name := "slot-" + itoa(slot) + "!" // want "string concatenation allocates on the hot path"
+	_ = name
+	sink(slot) // want "passing int into an interface parameter allocates \(boxing\) on the hot path"
+	sink(nil)      // untyped nil fills the interface word without boxing
+	sink(&k.scale) // pointers fit in the interface word: no boxing
+	sink(k.obs)    // already an interface: no boxing
+	sinkAll(slot, k.scale) // want "passing int into an interface parameter allocates \(boxing\) on the hot path" "passing float64 into an interface parameter allocates \(boxing\) on the hot path"
+	sinkAll(k.spread...) // spreading an existing \[\]any reuses its backing array
+	q := new(slotFlows) // want "new allocates on the hot path"
+	_ = q
+	_ = any(slot) // want "conversion of int to interface type allocates \(boxing\) on the hot path"
+	if k.obs != nil {
+		// Observation-on is the slow path by contract: exempt.
+		trace := audit.SlotTrace{Slot: slot, BrownWh: vals[0]}
+		spill := make([]float64, len(vals))
+		copy(spill, vals)
+		k.obs.ObserveSlot(trace)
+	}
+	total := 0.0
+	for _, v := range vals {
+		total += v * k.scale
+	}
+	k.buf = k.buf[:0]
+	return slotFlows{green: total} // value struct literal: stack-allocated
+}
+
+// cold is unmarked: hotalloc has no opinion about it.
+func cold(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// itoa stands in for a formatting helper.
+func itoa(n int) string {
+	return string(rune('0' + n%10))
+}
+
+func sink(v any) { _ = v }
+
+func sinkAll(vs ...any) { _ = vs }

@@ -1,0 +1,30 @@
+// Package mirrordep supplies a mirrored component type for the snapstate
+// fixture's cross-package nesting checks: the fixture's outer struct embeds
+// a *Cell and restores it via Cell.Restore, which must be credited through
+// the fact store rather than local analysis.
+package mirrordep
+
+// Cell is a tiny mirrored component (think battery.Battery).
+//
+//gm:statemirror State Restore
+type Cell struct {
+	Stored float64
+	Count  int
+}
+
+// CellState is Cell's serializable mirror.
+type CellState struct {
+	Stored float64 `json:"stored"`
+	Count  int     `json:"count"`
+}
+
+// State captures the cell's mutable state.
+func (c *Cell) State() CellState {
+	return CellState{Stored: c.Stored, Count: c.Count}
+}
+
+// Restore overwrites the cell's mutable state.
+func (c *Cell) Restore(st CellState) {
+	c.Stored = st.Stored
+	c.Count = st.Count
+}

@@ -1,0 +1,33 @@
+// Package mutatordep supplies //gm:mutator methods for the applypath
+// fixture's cross-package checks (think core.Live): the mutator facts are
+// exported here and imported by the dependent fixture package.
+package mutatordep
+
+// Live is the stand-in live scheduler.
+type Live struct{ slot int }
+
+// Submit enqueues a job.
+//
+//gm:mutator
+func (l *Live) Submit(job int) error { l.slot += job; return nil }
+
+// StepTo advances the scheduler.
+//
+//gm:mutator
+func (l *Live) StepTo(slot int) error { l.slot = slot; return nil }
+
+// NextSlot is a read-only accessor; callable from anywhere.
+func (l *Live) NextSlot() int { return l.slot }
+
+// Reset is a package-level mutator (no receiver in its exported name).
+//
+//gm:mutator
+func Reset(l *Live) { l.slot = 0 }
+
+// Box is a generic holder whose mutator has a type-parameterized receiver.
+type Box[T any] struct{ v T }
+
+// Put replaces the held value.
+//
+//gm:mutator
+func (b *Box[T]) Put(v T) { b.v = v }

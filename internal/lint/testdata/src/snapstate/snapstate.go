@@ -1,0 +1,173 @@
+// Fixture for the snapstate analyzer: checkpoint completeness of
+// //gm:statemirror structs.
+package snapstate
+
+import (
+	"sort"
+
+	"mirrordep"
+)
+
+// Snap mirrors Good.
+type Snap struct {
+	Seq     uint64
+	Queue   []int
+	Repairs []int
+	Mask    []bool
+	Cell    mirrordep.CellState
+	Units   []int
+}
+
+// Good is fully mirrored: every field is read by Snapshot (directly or via
+// a same-package helper) and written by Restore (assignment, copy, keyed
+// literal in a transitive callee, or a nested mirror's Restore). Nothing
+// here is flagged.
+//
+//gm:statemirror Snapshot Restore
+type Good struct {
+	seq     uint64
+	queue   []int
+	repairs map[int]int
+	mask    []bool
+	cell    *mirrordep.Cell
+	units   []*unit
+	scratch []int //gm:ephemeral per-slot scratch, rebuilt each slot
+}
+
+// unit is a component restored in place through its pointer.
+type unit struct{ v int }
+
+// Snapshot captures the struct's state.
+func (g *Good) Snapshot() Snap {
+	s := Snap{Seq: g.seq, Cell: g.cell.State()}
+	s.Queue = append(s.Queue, g.queue...)
+	s.Repairs = snapRepairs(g)
+	s.Mask = append(s.Mask, g.mask...)
+	for _, u := range g.units {
+		s.Units = append(s.Units, u.v)
+	}
+	return s
+}
+
+// snapRepairs is the transitive-callee read of g.repairs.
+func snapRepairs(g *Good) []int {
+	var out []int
+	for n := range g.repairs {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Restore rebuilds a Good from a snapshot.
+func Restore(s Snap) *Good {
+	g := newGood()
+	g.seq = s.Seq
+	g.queue = append(g.queue, s.Queue...)
+	for _, n := range s.Repairs {
+		g.repairs[n] = n
+	}
+	copy(g.mask, s.Mask)
+	g.cell.Restore(s.Cell)
+	for i, v := range s.Units {
+		// In-place restore through a pointer element: credits units.
+		u := g.units[i]
+		u.v = v
+	}
+	return g
+}
+
+// newGood is the transitive-callee keyed-literal write of repairs and mask.
+// It deliberately does not touch cell: cell's restore credit must come from
+// the nested g.cell.Restore call via mirrordep's exported facts.
+func newGood() *Good {
+	return &Good{repairs: map[int]int{}, mask: make([]bool, 4)}
+}
+
+// Leaky forgets both sides for one field and the restore side for another.
+//
+//gm:statemirror LeakySnap LeakyRestore
+type Leaky struct {
+	kept    int
+	dropped int // want "field Leaky.dropped is not read by snapshot function LeakySnap" "field Leaky.dropped is not written by restore function LeakyRestore"
+	halfway int // want "field Leaky.halfway is not written by restore function LeakyRestore"
+}
+
+// LeakySnap reads kept and halfway but not dropped.
+func (l *Leaky) LeakySnap() (int, int) { return l.kept, l.halfway }
+
+// LeakyRestore writes only kept.
+func (l *Leaky) LeakyRestore(kept int) { l.kept = kept }
+
+// NotAStruct cannot be mirrored field-by-field.
+//
+//gm:statemirror String Parse
+type NotAStruct int // want "//gm:statemirror on non-struct type NotAStruct"
+
+func (n NotAStruct) String() string { return "" }
+
+// Parse is NotAStruct's restore side.
+func Parse(string) NotAStruct { return 0 }
+
+// Dangling names a snapshot function that does not exist.
+//
+//gm:statemirror Missing DanglingRestore
+type Dangling struct { // want "names \"Missing\", which does not resolve"
+	x int
+}
+
+// DanglingRestore writes x.
+func (d *Dangling) DanglingRestore(x int) { d.x = x }
+
+// Malformed has a directive without both specifiers.
+//
+//gm:statemirror OnlyOne // want "malformed //gm:statemirror"
+type Malformed struct {
+	y int
+}
+
+// base is a component embedded by value.
+type base struct{ n int }
+
+// side is a component embedded by pointer.
+type side struct{ m int }
+
+// Emb mixes embedded fields: base is mirrored through its implicit name,
+// the pointer embed and the cross-package embed are forgotten on both
+// sides.
+//
+//gm:statemirror EmbSnap EmbRestore
+type Emb struct {
+	base
+	*side          // want "embedded field Emb.side is not read by snapshot function EmbSnap" "embedded field Emb.side is not written by restore function EmbRestore"
+	mirrordep.Cell // want "embedded field Emb.Cell is not read by snapshot function EmbSnap" "embedded field Emb.Cell is not written by restore function EmbRestore"
+}
+
+// EmbSnap reads the base embed only.
+func (e *Emb) EmbSnap() base { return e.base }
+
+// EmbRestore writes the base embed only.
+func (e *Emb) EmbRestore(b base) { e.base = b }
+
+// Pos is restored with a positional literal, which credits every field.
+//
+//gm:statemirror PosSnap PosRestore
+type Pos struct {
+	a int
+	b int
+}
+
+// PosSnap reads both fields, with an index read covering a.
+func (p *Pos) PosSnap() (int, int) { return p.a, p.b }
+
+// PosRestore rebuilds a Pos. The empty and foreign literals earn no
+// credit; the keyed pointer-element literal and the positional return do.
+func PosRestore(a, b int) *Pos {
+	_ = &Pos{}
+	_ = []int{a}
+	tmp := []*Pos{{a: 1}}
+	for range tmp {
+	}
+	tmp[0].b = b
+	return &Pos{a, b}
+}

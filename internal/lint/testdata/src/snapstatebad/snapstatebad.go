@@ -1,0 +1,19 @@
+// Fixture exercised directly (not via want comments): a bare ephemeral
+// mark's diagnostic lands on the mark's own line, where a want comment
+// would become part of the reason text.
+package snapstatebad
+
+// T carries a reasonless ephemeral mark on b.
+//
+//gm:statemirror Snap Restore
+type T struct {
+	a int
+	//gm:ephemeral
+	b int
+}
+
+// Snap reads a.
+func (t *T) Snap() int { return t.a }
+
+// Restore writes a.
+func (t *T) Restore(v int) { t.a = v }

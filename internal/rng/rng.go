@@ -18,10 +18,12 @@ import (
 // Stream is a deterministic random stream with a set of sampling helpers.
 // It wraps math/rand.Rand and is NOT safe for concurrent use; create one
 // stream per goroutine or per model component.
+//
+//gm:statemirror Draws Restore
 type Stream struct {
-	r    *rand.Rand
+	r    *rand.Rand //gm:ephemeral reconstructed by New from (seed, name)
 	src  *countingSource
-	name string
+	name string //gm:ephemeral reconstructed by New from (seed, name)
 }
 
 // countingSource wraps the underlying rand.Source64 and counts how many

@@ -71,11 +71,11 @@ func writeCheckpoint(dir string, cp Checkpoint) error {
 		return fmt.Errorf("serve: creating checkpoint: %w", err)
 	}
 	if _, err := f.Write(append(blob, '\n')); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("serve: writing checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("serve: syncing checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {

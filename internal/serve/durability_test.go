@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Regression tests for the durability-path error handling the durabilityerr
+// analyzer audits: failures on the WAL's write/sync/close calls must surface
+// to the caller, never vanish.
+
+func TestJournalCloseReportsFailure(t *testing.T) {
+	j, _, err := OpenJournal(filepath.Join(t.TempDir(), "wal.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the fd underneath the journal: Close's final sync fails, and
+	// that failure is the durability verdict — it must be returned, not
+	// swallowed by a best-effort close.
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err == nil {
+		t.Error("Journal.Close on a severed fd should report the sync failure")
+	}
+}
+
+func TestJournalAppendReportsWriteFailure(t *testing.T) {
+	j, _, err := OpenJournal(filepath.Join(t.TempDir(), "wal.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("init", nil); err == nil {
+		t.Error("Append on a severed fd should report the write failure")
+	}
+}
+
+func TestOpenJournalRejectsUnusablePath(t *testing.T) {
+	// A directory cannot be opened O_RDWR; the error must propagate instead
+	// of handing back a half-constructed journal.
+	if j, _, err := OpenJournal(t.TempDir(), false); err == nil {
+		_ = j.Close()
+		t.Error("OpenJournal on a directory should fail")
+	}
+}

@@ -80,15 +80,15 @@ func OpenJournal(path string, fsync bool) (*Journal, []Entry, error) {
 		good += int64(len(line)) + 1
 	}
 	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("serve: scanning journal: %w", err)
 	}
 	if err := f.Truncate(good); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("serve: truncating torn journal tail: %w", err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("serve: seeking journal: %w", err)
 	}
 	return &Journal{f: f, next: uint64(len(entries)) + 1, fsync: fsync}, entries, nil
@@ -131,7 +131,8 @@ func (j *Journal) NextSeq() uint64 { return j.next }
 // Close syncs and closes the journal file.
 func (j *Journal) Close() error {
 	if err := j.f.Sync(); err != nil {
-		j.f.Close()
+		// The sync failure is the durability verdict; the close is best-effort.
+		_ = j.f.Close()
 		return err
 	}
 	return j.f.Close()

@@ -204,7 +204,7 @@ func Open(dir string, opts Options) (*Runner, error) {
 		auditOffset = cp.AuditOffset
 	}
 	if err := r.openAudit(auditOffset); err != nil {
-		journal.Close()
+		_ = journal.Close()
 		return nil, err
 	}
 	if haveCP {
@@ -235,11 +235,11 @@ func (r *Runner) openAudit(offset int64) error {
 		return fmt.Errorf("serve: opening audit sink: %w", err)
 	}
 	if err := f.Truncate(offset); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("serve: truncating audit sink: %w", err)
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("serve: seeking audit sink: %w", err)
 	}
 	r.auditFile = f
@@ -329,6 +329,8 @@ func (r *Runner) journalThen(kind string, data any) (uint64, error) {
 // apply executes one journaled mutation — the single code path shared by
 // live requests and recovery replay, which is what makes replay
 // deterministic by construction.
+//
+//gm:applypath
 func (r *Runner) apply(seq uint64, kind string, data json.RawMessage) error {
 	switch kind {
 	case kindInit:
@@ -600,7 +602,8 @@ func (r *Runner) AuditSHA256() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
+	// Read-only handle: a close failure cannot lose audit bytes.
+	defer func() { _ = f.Close() }()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
 		return "", err

@@ -12,9 +12,10 @@ import (
 
 // Distribution accumulates float64 observations. The zero value is ready
 // to use. Not safe for concurrent use.
+//gm:statemirror State RestoreState
 type Distribution struct {
 	values []float64
-	sorted bool
+	sorted bool //gm:ephemeral derived flag; canonical order is re-derived on demand
 	sum    float64
 }
 

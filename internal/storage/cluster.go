@@ -123,14 +123,17 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Node is one storage server.
+// Node is one storage server. Its mutable state is mirrored by the
+// cluster-level snapshot (NodeSnap inside ClusterState).
+//
+//gm:statemirror Cluster.State Cluster.RestoreState
 type Node struct {
 	// ID is the node index.
-	ID int
+	ID int //gm:ephemeral identity, fixed by Config topology
 	// Tier is the tier index the node belongs to (0 when untiered).
-	Tier int
+	Tier int //gm:ephemeral configuration, fixed by Config topology
 	// Server is the node's power profile (tier-specific when tiered).
-	Server power.ServerProfile
+	Server power.ServerProfile //gm:ephemeral configuration, not state
 	// Powered reports whether the server is on. Disks on a powered-off
 	// node draw nothing and cannot serve reads.
 	Powered bool
@@ -148,10 +151,12 @@ type Node struct {
 }
 
 // Cluster is the full storage system plus the object placement map.
+//
+//gm:statemirror State RestoreState
 type Cluster struct {
-	cfg       Config
+	cfg       Config //gm:ephemeral configuration, re-supplied by NewCluster at restore
 	nodes     []*Node
-	placement [][]DiskID // object id -> replica disk ids
+	placement [][]DiskID // object id -> replica disk ids //gm:ephemeral pure function of Config (deterministic rendezvous hash)
 }
 
 // NewCluster builds a cluster with every node powered on, all disks idle,

@@ -35,24 +35,28 @@ type DiskStats struct {
 }
 
 // Disk is one spindle: a power-state machine plus placement membership.
+// Its mutable state is mirrored by the cluster-level snapshot (DiskSnap
+// inside ClusterState).
+//
+//gm:statemirror Cluster.State Cluster.RestoreState
 type Disk struct {
 	// ID locates the disk in the cluster.
-	ID DiskID
+	ID DiskID //gm:ephemeral identity, fixed by Config topology
 	// Profile is the power model.
-	Profile power.DiskProfile
+	Profile power.DiskProfile //gm:ephemeral configuration, not state
 	// State is the current power state. Transitions are slot-granular:
 	// spin transients are much shorter than a slot, so the simulator
 	// charges their energy at the transition and holds the steady state
 	// for the rest of the slot.
 	State power.DiskState
 	// Objects is the sorted list of object ids with a replica here.
-	Objects []int
+	Objects []int //gm:ephemeral placement, a pure function of Config
 	// Stats accumulates activity.
 	Stats DiskStats
 	// busy marks the disk as having served I/O in the current slot; the
 	// cluster uses it to decide Active vs Idle draw, and clears it each
 	// slot.
-	busy bool
+	busy bool //gm:ephemeral per-slot scratch, always clear at slot boundaries
 }
 
 // SpunUp reports whether the disk platters are spinning (can serve I/O

@@ -12,19 +12,20 @@ import (
 // Zipf popularity, serving each read from a spinning replica when one
 // exists and waking a standby disk otherwise. Cold reads are the tax a
 // spin-down policy pays for being too aggressive.
+//gm:statemirror State RestoreState
 type ReadModel struct {
 	// ReadsPerSlot is the mean read count per slot (Poisson-distributed).
-	ReadsPerSlot float64
+	ReadsPerSlot float64 //gm:ephemeral configuration, not state
 	// Theta is the Zipf exponent of object popularity.
-	Theta float64
+	Theta float64 //gm:ephemeral configuration, not state
 	// BaseLatencyMs is the service latency of a warm read (default 8 ms,
 	// a 7200 rpm seek+rotate+transfer budget).
-	BaseLatencyMs float64
+	BaseLatencyMs float64 //gm:ephemeral configuration, not state
 	// Latencies, when non-nil, receives one per-read latency sample in
 	// milliseconds (cold reads include the spin-up wait).
 	Latencies *stats.Distribution
 
-	zipf   *rng.Zipf
+	zipf   *rng.Zipf //gm:ephemeral rebuilt from the restored stream; position is determined by Draws
 	stream *rng.Stream
 }
 
